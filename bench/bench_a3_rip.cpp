@@ -1,0 +1,60 @@
+// Ablation R-A3 — cached rightmost-instance pointers vs binary search.
+//
+// The in-order SSC design gets predecessor ranges for free from RIPs
+// recorded at push time. Under out-of-order arrival a cached RIP must be
+// repaired on every mid-stack insertion (suffix bump) and every purge
+// (global drop), while the search-based variant pays one binary search
+// per construction edge and nothing on insertion. Sweeping disorder over
+// {0, 5, 30}% shows where the break-even sits.
+#include <map>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace oosp;
+using benchutil::Scenario;
+
+const Scenario& scenario(int pct) {
+  static std::map<int, Scenario> cache;
+  auto it = cache.find(pct);
+  if (it == cache.end()) {
+    SyntheticConfig cfg;
+    cfg.num_events = 60'000;
+    cfg.num_types = 3;
+    cfg.key_cardinality = 50;
+    cfg.mean_gap = 5;
+    cfg.seed = 1009;
+    SyntheticWorkload proto(cfg);
+    it = cache
+             .emplace(pct, benchutil::make_scenario(cfg, proto.seq_query(3, true, 1'500),
+                                                    pct / 100.0, 400))
+             .first;
+  }
+  return it->second;
+}
+
+void register_benchmarks() {
+  for (const bool rip : {false, true}) {
+    for (const int pct : {0, 5, 30}) {
+      benchmark::RegisterBenchmark(
+          (std::string("A3/ooo-native/") + (rip ? "cached-rip" : "binary-search") +
+           "/ooo_pct:" + std::to_string(pct))
+              .c_str(),
+          [rip, pct](benchmark::State& state) {
+            EngineOptions opt;
+            opt.cache_rip = rip;
+            benchutil::run_case(state, scenario(pct), EngineKind::kOoo, opt);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  return oosp::benchutil::run_benchmark_main(argc, argv);
+}

@@ -1,0 +1,65 @@
+// Experiment R-F1 — throughput vs fraction of out-of-order events.
+//
+// Fixed: 3-step keyed query, W = 2000 ticks, max delay 500 ticks, 60k
+// events. Sweeps the fraction of delayed events over
+// {0, 1, 5, 10, 20, 40}% and compares the native OOO engine with the
+// conventional K-slack buffered engines.
+//
+// Expected shape (DESIGN.md §4): the native engine's throughput degrades
+// gracefully as disorder grows (extra work is proportional to late
+// events), while the buffered engines pay the reorder heap on every
+// event regardless of disorder; the native engine dominates at low
+// disorder and stays competitive at high disorder.
+#include <map>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace oosp;
+using benchutil::Scenario;
+
+const Scenario& scenario(int pct) {
+  static std::map<int, Scenario> cache;
+  auto it = cache.find(pct);
+  if (it == cache.end()) {
+    SyntheticConfig cfg;
+    cfg.num_events = 60'000;
+    cfg.num_types = 3;
+    cfg.key_cardinality = 50;
+    cfg.mean_gap = 5;
+    cfg.seed = 1001;
+    SyntheticWorkload proto(cfg);
+    it = cache
+             .emplace(pct, benchutil::make_scenario(cfg, proto.seq_query(3, true, 2'000),
+                                                    pct / 100.0, 500))
+             .first;
+  }
+  return it->second;
+}
+
+void register_benchmarks() {
+  const std::pair<const char*, EngineKind> engines[] = {
+      {"ooo-native", EngineKind::kOoo},
+      {"kslack+inorder", EngineKind::kKSlackInOrder},
+      {"kslack+nfa", EngineKind::kKSlackNfa},
+  };
+  for (const auto& [name, kind] : engines) {
+    for (const int pct : {0, 1, 5, 10, 20, 40}) {
+      benchmark::RegisterBenchmark(
+          ("F1/" + std::string(name) + "/ooo_pct:" + std::to_string(pct)).c_str(),
+          [kind = kind, pct](benchmark::State& state) {
+            benchutil::run_case(state, scenario(pct), kind, EngineOptions{});
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  return oosp::benchutil::run_benchmark_main(argc, argv);
+}

@@ -1,0 +1,64 @@
+// Experiment R-F2 — throughput and memory vs maximum network delay (K).
+//
+// Fixed: 3-step keyed query, W = 2000, 10% of events delayed, 60k events.
+// Sweeps the delay bound over {50, 200, 800, 3200} ticks. The buffered
+// engine must hold K worth of events in its reorder heap, so its
+// peak_state counter grows linearly with K while its throughput pays the
+// heap churn; the native engine's CPU cost is insensitive to K (K only
+// stretches the purge horizon, so its state grows far more slowly).
+#include <map>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace oosp;
+using benchutil::Scenario;
+
+const Scenario& scenario(int delay) {
+  static std::map<int, Scenario> cache;
+  auto it = cache.find(delay);
+  if (it == cache.end()) {
+    SyntheticConfig cfg;
+    cfg.num_events = 60'000;
+    // Six types but the query touches three: half the traffic is
+    // irrelevant background (other sensors/readers). The reorder buffer
+    // must hold ALL of it for K; the native engine's stacks never admit
+    // it — that asymmetry is the memory story of this experiment.
+    cfg.num_types = 6;
+    cfg.key_cardinality = 50;
+    cfg.mean_gap = 5;
+    cfg.seed = 1002;
+    SyntheticWorkload proto(cfg);
+    it = cache
+             .emplace(delay, benchutil::make_scenario(cfg, proto.seq_query(3, true, 2'000),
+                                                      0.10, delay))
+             .first;
+  }
+  return it->second;
+}
+
+void register_benchmarks() {
+  const std::pair<const char*, EngineKind> engines[] = {
+      {"ooo-native", EngineKind::kOoo},
+      {"kslack+inorder", EngineKind::kKSlackInOrder},
+  };
+  for (const auto& [name, kind] : engines) {
+    for (const int delay : {50, 200, 800, 3'200}) {
+      benchmark::RegisterBenchmark(
+          ("F2/" + std::string(name) + "/max_delay:" + std::to_string(delay)).c_str(),
+          [kind = kind, delay](benchmark::State& state) {
+            benchutil::run_case(state, scenario(delay), kind, EngineOptions{});
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  return oosp::benchutil::run_benchmark_main(argc, argv);
+}

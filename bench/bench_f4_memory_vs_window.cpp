@@ -1,0 +1,86 @@
+// Experiment R-F4 — peak engine state vs window size W.
+//
+// Fixed: 3-step keyed query, 10% disorder with max delay 500, 60k events.
+// Sweeps W over {500, 1000, 2000, 4000, 8000} ticks. Both engines hold
+// W(+K) worth of instances; the buffered engine additionally parks a
+// K-sized reorder heap, a constant offset visible at every W. peak_state
+// counts instances + buffered events + pending matches.
+#include <map>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace oosp;
+using benchutil::Scenario;
+
+const Scenario& scenario() {
+  static Scenario sc = [] {
+    SyntheticConfig cfg;
+    cfg.num_events = 60'000;
+    cfg.num_types = 3;
+    cfg.key_cardinality = 50;
+    cfg.mean_gap = 5;
+    cfg.seed = 1004;
+    // Query text is per-benchmark (window varies); build with a
+    // placeholder and recompile below.
+    SyntheticWorkload proto(cfg);
+    return benchutil::make_scenario(cfg, proto.seq_query(3, true, 500), 0.10, 500);
+  }();
+  return sc;
+}
+
+const CompiledQuery& query_for_window(Timestamp w) {
+  static std::map<Timestamp, CompiledQuery> cache;
+  auto it = cache.find(w);
+  if (it == cache.end()) {
+    const Scenario& sc = scenario();
+    it = cache
+             .emplace(w, compile_query(sc.workload->seq_query(3, true, w),
+                                       sc.workload->registry()))
+             .first;
+  }
+  return it->second;
+}
+
+void run_window_case(benchmark::State& state, EngineKind kind, Timestamp w) {
+  const Scenario& sc = scenario();
+  const CompiledQuery& q = query_for_window(w);
+  RunResult last;
+  for (auto _ : state) {
+    DriverConfig cfg;
+    cfg.kind = kind;
+    cfg.options.slack = sc.slack;
+    last = run_stream(q, sc.arrivals, cfg);
+    benchmark::DoNotOptimize(last.matches);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sc.arrivals.size()));
+  state.counters["ev/s"] = benchmark::Counter(last.events_per_second);
+  state.counters["peak_state"] =
+      benchmark::Counter(static_cast<double>(last.stats.footprint_peak));
+  state.counters["matches"] = benchmark::Counter(static_cast<double>(last.matches));
+}
+
+void register_benchmarks() {
+  const std::pair<const char*, EngineKind> engines[] = {
+      {"ooo-native", EngineKind::kOoo},
+      {"kslack+inorder", EngineKind::kKSlackInOrder},
+  };
+  for (const auto& [name, kind] : engines) {
+    for (const Timestamp w : {500, 1'000, 2'000, 4'000, 8'000}) {
+      benchmark::RegisterBenchmark(
+          ("F4/" + std::string(name) + "/window:" + std::to_string(w)).c_str(),
+          [kind = kind, w](benchmark::State& state) { run_window_case(state, kind, w); })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  return oosp::benchutil::run_benchmark_main(argc, argv);
+}

@@ -1,0 +1,60 @@
+// Experiment R-F6 / ablation R-A2 — equi-join key partitioning.
+//
+// Fixed: 3-step keyed query, W = 2000, 10% disorder, 50k events. Sweeps
+// key cardinality over {1, 10, 100, 1000} with the native engine's
+// hash-partitioned stacks enabled and disabled. With one key the two are
+// identical; as cardinality grows the unpartitioned engine scans
+// stack ranges full of other keys' instances during construction while
+// the partitioned engine touches only its own shard, so the gap widens.
+#include <map>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace oosp;
+using benchutil::Scenario;
+
+const Scenario& scenario(int cardinality) {
+  static std::map<int, Scenario> cache;
+  auto it = cache.find(cardinality);
+  if (it == cache.end()) {
+    SyntheticConfig cfg;
+    cfg.num_events = 30'000;
+    cfg.num_types = 3;
+    cfg.key_cardinality = cardinality;
+    cfg.mean_gap = 5;
+    cfg.seed = 1006;
+    SyntheticWorkload proto(cfg);
+    it = cache
+             .emplace(cardinality, benchutil::make_scenario(
+                                       cfg, proto.seq_query(3, true, 1'000), 0.10, 300))
+             .first;
+  }
+  return it->second;
+}
+
+void register_benchmarks() {
+  for (const bool partition : {true, false}) {
+    for (const int card : {4, 16, 64, 256, 1'024}) {
+      benchmark::RegisterBenchmark(
+          (std::string("F6/ooo-native/") + (partition ? "partitioned" : "flat") +
+           "/keys:" + std::to_string(card))
+              .c_str(),
+          [partition, card](benchmark::State& state) {
+            EngineOptions opt;
+            opt.partition_by_key = partition;
+            benchutil::run_case(state, scenario(card), EngineKind::kOoo, opt);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(2);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  return oosp::benchutil::run_benchmark_main(argc, argv);
+}

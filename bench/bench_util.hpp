@@ -1,0 +1,88 @@
+// Shared scaffolding for the per-experiment benchmark binaries.
+//
+// Every figure benchmark follows the same shape: build a deterministic
+// disordered arrival stream, run one engine configuration per registered
+// benchmark, and expose the paper's metrics as counters —
+//   ev/s        wall-clock throughput (events per second)
+//   peak_state  EngineStats::footprint_peak (instances + buffers + pending)
+//   matches     results emitted
+//   delay_avg   mean detection delay in stream time
+//   delay_max   max detection delay in stream time
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/compiled.hpp"
+#include "runtime/driver.hpp"
+#include "stream/disorder.hpp"
+#include "workload/synthetic.hpp"
+
+namespace oosp::benchutil {
+
+struct Scenario {
+  std::shared_ptr<SyntheticWorkload> workload;
+  std::shared_ptr<CompiledQuery> query;
+  std::vector<Event> arrivals;
+  Timestamp slack = 0;
+  DisorderStats disorder;
+};
+
+// Builds a synthetic scenario: ts-ordered generation, then disorder
+// injection with `ooo_fraction` of events delayed U[0, max_delay].
+inline Scenario make_scenario(SyntheticConfig cfg, const std::string& query_text,
+                              double ooo_fraction, Timestamp max_delay,
+                              std::uint64_t disorder_seed = 97) {
+  Scenario sc;
+  sc.workload = std::make_shared<SyntheticWorkload>(cfg);
+  const auto ordered = sc.workload->generate();
+  DisorderInjector inj(max_delay > 0 ? LatencyModel::uniform(max_delay)
+                                     : LatencyModel::none(),
+                       ooo_fraction, disorder_seed);
+  sc.arrivals = inj.deliver(ordered);
+  sc.slack = inj.slack_bound();
+  sc.disorder = DisorderInjector::measure(sc.arrivals);
+  sc.query = std::make_shared<CompiledQuery>(
+      compile_query(query_text, sc.workload->registry()));
+  return sc;
+}
+
+// Runs `kind` over the scenario once per benchmark iteration and reports
+// the standard counter set.
+inline void run_case(benchmark::State& state, const Scenario& sc, EngineKind kind,
+                     EngineOptions options) {
+  options.slack = sc.slack;
+  RunResult last;
+  for (auto _ : state) {
+    DriverConfig cfg;
+    cfg.kind = kind;
+    cfg.options = options;
+    last = run_stream(*sc.query, sc.arrivals, cfg);
+    benchmark::DoNotOptimize(last.matches);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sc.arrivals.size()));
+  state.counters["ev/s"] = benchmark::Counter(last.events_per_second);
+  state.counters["peak_state"] =
+      benchmark::Counter(static_cast<double>(last.stats.footprint_peak));
+  state.counters["matches"] = benchmark::Counter(static_cast<double>(last.matches));
+  state.counters["delay_avg"] = benchmark::Counter(last.delay.mean());
+  state.counters["delay_max"] = benchmark::Counter(last.delay.max());
+  state.counters["ooo_pct"] = benchmark::Counter(sc.disorder.ooo_percent());
+  if (last.retractions)
+    state.counters["retractions"] =
+        benchmark::Counter(static_cast<double>(last.retractions));
+}
+
+inline int run_benchmark_main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace oosp::benchutil

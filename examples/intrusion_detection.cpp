@@ -1,0 +1,58 @@
+// Real-time intrusion detection — alert latency under disorder.
+//
+// Brute-force signature: three failed logins followed by a success from
+// the same IP. The metric that matters here is ALERT DELAY: how much
+// stream time passes between the attack completing and the engine
+// raising the alert. A K-slack buffered engine delays every alert by the
+// full slack; the native engine alerts immediately unless the completing
+// event itself was late.
+//
+// Build & run:   ./build/examples/intrusion_detection
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "runtime/driver.hpp"
+#include "runtime/verify.hpp"
+#include "stream/disorder.hpp"
+#include "workload/intrusion.hpp"
+
+int main() {
+  using namespace oosp;
+
+  IntrusionConfig cfg;
+  cfg.num_events = 60'000;
+  cfg.num_ips = 1'000;
+  cfg.seed = 7777;
+  IntrusionWorkload net(cfg);
+  const auto ordered = net.generate();
+
+  // Sensor uplinks add up to 200 ticks of delay to 10% of events.
+  DisorderInjector uplink(LatencyModel::uniform(200), 0.10, 3);
+  const auto arrivals = uplink.deliver(ordered);
+
+  const CompiledQuery query = compile_query(net.bruteforce_query(3, 300), net.registry());
+  std::cout << "auth stream: " << arrivals.size() << " events, "
+            << DisorderInjector::measure(arrivals).ooo_percent()
+            << "% late\nquery: " << query.text() << "\n\n";
+
+  Table t({"engine", "alerts", "exact?", "delay mean", "delay max", "events/s"});
+  for (const EngineKind kind : {EngineKind::kKSlackInOrder, EngineKind::kOoo}) {
+    DriverConfig dc;
+    dc.kind = kind;
+    dc.options.slack = uplink.slack_bound();
+    dc.collect_matches = true;
+    const RunResult r = run_stream(query, arrivals, dc);
+    const VerifyResult v = verify_against_oracle(query, arrivals, r.collected);
+    t.add_row({r.engine_name, Table::cell(r.matches), v.exact() ? "yes" : "NO",
+               Table::cell(r.delay.mean(), 1), Table::cell(r.delay.max(), 0),
+               Table::cell(r.events_per_second, 0)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nBoth engines detect the identical alert set; the buffered\n"
+            << "engine holds every alert for the full slack (" << uplink.slack_bound()
+            << " ticks) while the native engine raises most alerts the moment\n"
+            << "the completing login arrives.\n";
+  return 0;
+}

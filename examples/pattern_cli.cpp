@@ -1,0 +1,191 @@
+// pattern_cli — run any pattern query over any bundled workload from the
+// command line, with configurable disorder, engine and options.
+//
+// Examples:
+//   ./build/examples/pattern_cli --workload rfid --events 5000 \
+//       --engine ooo --ooo-pct 15 --max-delay 120 --verify
+//   ./build/examples/pattern_cli --workload synthetic \
+//       --query "PATTERN SEQ(T0 a, T1 b) WHERE a.key == b.key WITHIN 300" \
+//       --engine kslack --print-matches 5
+//   ./build/examples/pattern_cli --workload intrusion --engine ooo --aggressive
+#include <iostream>
+
+#include "common/args.hpp"
+#include "common/table.hpp"
+#include "query/explain.hpp"
+#include "runtime/driver.hpp"
+#include "runtime/verify.hpp"
+#include "stream/disorder.hpp"
+#include "stream/outage.hpp"
+#include "workload/intrusion.hpp"
+#include "workload/rfid.hpp"
+#include "workload/stock.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace oosp;
+
+struct Loaded {
+  std::vector<Event> ordered;
+  const TypeRegistry* registry = nullptr;
+  std::string default_query;
+  // Keep the owning workload alive.
+  std::shared_ptr<void> owner;
+};
+
+Loaded load_workload(const std::string& name, std::int64_t events, std::uint64_t seed) {
+  Loaded out;
+  if (name == "synthetic") {
+    auto wl = std::make_shared<SyntheticWorkload>(SyntheticConfig{
+        .num_events = static_cast<std::size_t>(events), .num_types = 3,
+        .key_cardinality = 50, .mean_gap = 5, .seed = seed});
+    out.ordered = wl->generate();
+    out.registry = &wl->registry();
+    out.default_query = wl->seq_query(3, true, 2'000);
+    out.owner = wl;
+  } else if (name == "rfid") {
+    auto wl = std::make_shared<RfidWorkload>(
+        RfidConfig{.num_items = static_cast<std::size_t>(events / 3), .seed = seed});
+    out.ordered = wl->generate();
+    out.registry = &wl->registry();
+    out.default_query = wl->shoplifting_query(600);
+    out.owner = wl;
+  } else if (name == "stock") {
+    auto wl = std::make_shared<StockWorkload>(StockConfig{
+        .num_ticks = static_cast<std::size_t>(events), .num_symbols = 30, .seed = seed});
+    out.ordered = wl->generate();
+    out.registry = &wl->registry();
+    out.default_query = wl->vshape_query(60);
+    out.owner = wl;
+  } else if (name == "intrusion") {
+    auto wl = std::make_shared<IntrusionWorkload>(IntrusionConfig{
+        .num_events = static_cast<std::size_t>(events), .num_ips = 500, .seed = seed});
+    out.ordered = wl->generate();
+    out.registry = &wl->registry();
+    out.default_query = wl->bruteforce_query(3, 300);
+    out.owner = wl;
+  } else {
+    throw std::invalid_argument("unknown workload: " + name +
+                                " (expected synthetic|rfid|stock|intrusion)");
+  }
+  return out;
+}
+
+EngineKind parse_engine(const std::string& name) {
+  if (name == "ooo") return EngineKind::kOoo;
+  if (name == "inorder") return EngineKind::kInOrder;
+  if (name == "nfa") return EngineKind::kNfa;
+  if (name == "kslack") return EngineKind::kKSlackInOrder;
+  if (name == "kslack-nfa") return EngineKind::kKSlackNfa;
+  throw std::invalid_argument("unknown engine: " + name +
+                              " (expected ooo|inorder|nfa|kslack|kslack-nfa)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  ArgParser args(
+      "pattern_cli — evaluate a pattern query over a bundled workload under "
+      "configurable out-of-order delivery");
+  args.add_string("workload", "synthetic", "synthetic | rfid | stock | intrusion");
+  args.add_string("query", "", "pattern query text (default: workload's canonical query)");
+  args.add_string("engine", "ooo", "ooo | inorder | nfa | kslack | kslack-nfa");
+  args.add_int("events", 20'000, "approximate number of events to generate");
+  args.add_int("seed", 42, "workload generation seed");
+  args.add_double("ooo-pct", 10.0, "percentage of events delivered late");
+  args.add_int("max-delay", 200, "maximum delivery delay (K-slack bound)");
+  args.add_int("outages", 0, "additionally inject this many partial outages");
+  args.add_int("purge-period", 64, "events between purge passes (0 = never)");
+  args.add_flag("aggressive", "use the aggressive (emit+retract) negation policy");
+  args.add_flag("no-partition", "disable equi-join key partitioning");
+  args.add_flag("verify", "check results against the brute-force oracle");
+  args.add_int("print-matches", 0, "print the first N matches");
+  args.add_flag("explain", "print the compiled query plan before running");
+  if (!args.parse(argc, argv)) return 0;
+
+  const Loaded wl =
+      load_workload(args.get_string("workload"), args.get_int("events"),
+                    static_cast<std::uint64_t>(args.get_int("seed")));
+
+  // Delivery path: random per-event latency, then optional outages.
+  DisorderInjector jitter(LatencyModel::uniform(args.get_int("max-delay")),
+                          args.get_double("ooo-pct") / 100.0, 1234);
+  std::vector<Event> arrivals = jitter.deliver(wl.ordered);
+  Timestamp slack = jitter.slack_bound();
+  if (args.get_int("outages") > 0) {
+    // Outage injection needs a ts-ordered input: re-sort the jittered
+    // stream is wrong (it would erase the jitter), so apply outages to
+    // the ordered stream and the jitter to the result is not composable
+    // either. Chain instead: ordered -> outage -> measure, then jitter
+    // is skipped when outages are requested.
+    const Timestamp base = std::max<Timestamp>(1, args.get_int("max-delay"));
+    OutageInjector outage({.outages = static_cast<std::size_t>(args.get_int("outages")),
+                           .min_duration = base,
+                           .max_duration = base * 3,
+                           .affected_fraction = 0.5,
+                           .seed = 77});
+    arrivals = outage.deliver(wl.ordered);
+    slack = outage.slack_bound();
+  }
+  const auto disorder = DisorderInjector::measure(arrivals);
+
+  const std::string query_text =
+      args.get_string("query").empty() ? wl.default_query : args.get_string("query");
+  const CompiledQuery query = compile_query(query_text, *wl.registry);
+  if (args.get_flag("explain")) std::cout << explain(query, *wl.registry) << "\n";
+
+  DriverConfig cfg;
+  cfg.kind = parse_engine(args.get_string("engine"));
+  cfg.options.slack = slack;
+  cfg.options.purge_period = static_cast<std::size_t>(args.get_int("purge-period"));
+  cfg.options.partition_by_key = !args.get_flag("no-partition");
+  cfg.options.aggressive_negation = args.get_flag("aggressive");
+  cfg.collect_matches = args.get_flag("verify") || args.get_int("print-matches") > 0;
+
+  const RunResult r = run_stream(query, arrivals, cfg);
+
+  std::cout << "query:    " << query.text() << "\n"
+            << "stream:   " << arrivals.size() << " events, " << disorder.ooo_percent()
+            << "% late, max lateness " << disorder.max_lateness << " (slack bound "
+            << slack << ")\n"
+            << "engine:   " << r.engine_name << "\n"
+            << "matches:  " << r.matches;
+  if (r.retractions) std::cout << " (+" << r.retractions << " retractions)";
+  std::cout << "\nthroughput: " << static_cast<std::uint64_t>(r.events_per_second)
+            << " events/s\n"
+            << "delay:    mean " << r.delay.mean() << ", max " << r.delay.max()
+            << " (stream time)\n"
+            << "state:    peak " << r.stats.footprint_peak << " entries, "
+            << r.stats.instances_purged << " purged\n";
+
+  for (std::int64_t i = 0; i < args.get_int("print-matches") &&
+                           i < static_cast<std::int64_t>(r.collected.size());
+       ++i)
+    std::cout << "  " << r.collected[static_cast<std::size_t>(i)] << "\n";
+
+  if (args.get_flag("verify")) {
+    // Under the aggressive policy the NET result (emissions minus
+    // retractions) is what must match the oracle.
+    std::vector<Match> net = r.collected;
+    if (!r.collected_retractions.empty()) {
+      std::vector<MatchKey> gone;
+      for (const Match& m : r.collected_retractions) gone.push_back(match_key(m));
+      std::sort(gone.begin(), gone.end());
+      std::erase_if(net, [&](const Match& m) {
+        const auto it = std::lower_bound(gone.begin(), gone.end(), match_key(m));
+        if (it == gone.end() || *it != match_key(m)) return false;
+        gone.erase(it);  // multiset semantics
+        return true;
+      });
+    }
+    const VerifyResult v = verify_against_oracle(query, arrivals, net);
+    std::cout << "verify:   recall " << v.recall() << ", precision " << v.precision()
+              << (v.exact() ? " — exact" : " — NOT exact") << "\n";
+    return v.exact() ? 0 : 2;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 1;
+}

@@ -1,0 +1,83 @@
+// RFID retail tracking — the paper's motivating application.
+//
+// A store's readers emit Shelf / Checkout / Exit readings; checkout
+// readings cross the store backbone and often arrive late. The
+// shoplifting query (Shelf followed by Exit with NO Checkout in between
+// for the same item) is evaluated three ways:
+//
+//   * a conventional in-order engine fed the raw arrival stream —
+//     demonstrates phantom alarms (late checkout missed) and missed
+//     alarms (late exits dropped);
+//   * the conventional fix — K-slack buffer + in-order engine — correct
+//     but every alarm waits out the full slack;
+//   * the native OOO engine — correct AND alarms fire as soon as the
+//     negation interval is safe.
+//
+// Build & run:   ./build/examples/rfid_tracking
+#include <iostream>
+
+#include "common/table.hpp"
+#include "engine/oracle/oracle.hpp"
+#include "runtime/driver.hpp"
+#include "runtime/verify.hpp"
+#include "stream/disorder.hpp"
+#include "workload/rfid.hpp"
+
+int main() {
+  using namespace oosp;
+
+  RfidConfig cfg;
+  cfg.num_items = 8'000;
+  cfg.shoplift_fraction = 0.04;
+  cfg.seed = 2024;
+  RfidWorkload store(cfg);
+  const auto readings = store.generate();
+
+  // Checkout readings are delayed through the backbone: 15% of events
+  // suffer up to 120 ticks of delivery latency.
+  DisorderInjector network(LatencyModel::pareto(4.0, 1.4, 120), 0.15, 99);
+  const auto arrivals = network.deliver(readings);
+  const auto disorder = DisorderInjector::measure(arrivals);
+
+  const CompiledQuery query =
+      compile_query(store.shoplifting_query(600), store.registry());
+  const auto truth = oracle_keys(query, arrivals);
+
+  std::cout << "RFID store: " << arrivals.size() << " reader events, "
+            << store.expected_shoplifted() << " items actually stolen, "
+            << disorder.ooo_percent() << "% of events arrived late (max lateness "
+            << disorder.max_lateness << " ticks)\n"
+            << "query: " << query.text() << "\n\n";
+
+  Table t({"engine", "alarms", "true", "phantom", "missed", "mean alarm delay",
+           "peak state"});
+  for (const EngineKind kind :
+       {EngineKind::kInOrder, EngineKind::kKSlackInOrder, EngineKind::kOoo}) {
+    DriverConfig dc;
+    dc.kind = kind;
+    dc.options.slack = network.slack_bound();
+    dc.collect_matches = true;
+    const RunResult r = run_stream(query, arrivals, dc);
+    const VerifyResult v = verify_against_oracle(query, arrivals, r.collected);
+    t.add_row({r.engine_name, Table::cell(r.matches),
+               Table::cell(static_cast<std::uint64_t>(v.true_positives)),
+               Table::cell(static_cast<std::uint64_t>(v.false_positives)),
+               Table::cell(static_cast<std::uint64_t>(v.missed)),
+               Table::cell(r.delay.mean(), 1),
+               Table::cell(static_cast<std::uint64_t>(r.stats.footprint_peak))});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nGround truth (oracle): " << truth.size()
+            << " shoplifting incidents.\n"
+            << "The in-order engine raises phantom alarms for customers whose\n"
+            << "checkout reading was merely late, and can miss real thefts whose\n"
+            << "exit reading overtook the shelf reading. Both repaired engines are\n"
+            << "exact. Note the alarm delays match here: this query's negation\n"
+            << "interval ends AT the exit reading, so a conservative engine —\n"
+            << "native or buffered — must wait out the lateness bound before an\n"
+            << "alarm is provably not a paying customer. When the pattern\n"
+            << "continues past the negated step (see intrusion_detection, or\n"
+            << "bench_f7), the native engine's head start becomes visible.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Stock monitoring over merged exchange feeds.
+//
+// Two exchange feeds are each internally in timestamp order, but reach
+// the engine over channels with different latencies; the merged arrival
+// sequence is out of order even though no single feed ever is — the
+// second disorder mechanism the paper describes (multi-source merge).
+// The V-shape (dip-and-recover) pattern is evaluated directly on the
+// merged stream by the native engine, with the merge's delay gap as the
+// lateness bound.
+//
+// Build & run:   ./build/examples/stock_monitor
+#include <iostream>
+
+#include "engine/engines.hpp"
+#include "runtime/verify.hpp"
+#include "stream/disorder.hpp"
+#include "stream/source.hpp"
+#include "workload/stock.hpp"
+
+int main() {
+  using namespace oosp;
+
+  // One workload object defines the schema; two feeds carry disjoint
+  // symbol ranges (exchange A lists symbols 0..19, exchange B 20..39).
+  StockWorkload exchange_a({.num_ticks = 20'000, .num_symbols = 20, .seed = 501});
+  StockWorkload exchange_b({.num_ticks = 20'000, .num_symbols = 20, .seed = 502});
+  auto feed_b = exchange_b.generate();
+  for (Event& e : feed_b) {
+    e.id += 1'000'000;  // keep ids globally unique
+    e.attrs[0] = Value(e.attrs[0].as_int() + 20);
+  }
+
+  // Exchange B's feed is 75 ticks slower than A's.
+  std::vector<MergeSource::Input> inputs;
+  inputs.push_back({std::make_unique<VectorSource>(exchange_a.generate()), 0});
+  inputs.push_back({std::make_unique<VectorSource>(std::move(feed_b)), 75});
+  MergeSource merged(std::move(inputs));
+
+  const auto arrivals = drain(merged);
+  const auto disorder = DisorderInjector::measure(arrivals);
+  std::cout << "merged feed: " << arrivals.size() << " ticks, "
+            << disorder.ooo_percent() << "% out of order (bounded by the "
+            << merged.slack_bound() << "-tick channel gap)\n";
+
+  const CompiledQuery query =
+      compile_query(exchange_a.vshape_query(60), exchange_a.registry());
+  std::cout << "query: " << query.text() << "\n\n";
+
+  CollectingSink sink;
+  EngineOptions options;
+  options.slack = merged.slack_bound();
+  const auto engine = make_engine(EngineKind::kOoo, query, sink, options);
+  for (const Event& e : arrivals) engine->on_event(e);
+  engine->finish();
+
+  const VerifyResult v = verify_against_oracle(query, arrivals, sink.matches());
+  std::cout << "V-shape dips detected: " << sink.size()
+            << " (oracle agrees: " << (v.exact() ? "yes" : "NO") << ")\n";
+
+  // Show a few detected dips.
+  std::size_t shown = 0;
+  for (const Match& m : sink.matches()) {
+    if (++shown > 3) break;
+    std::cout << "  sym " << m.events[0].attr(0).as_int() << ": "
+              << m.events[0].attr(1).as_double() << " -> "
+              << m.events[1].attr(1).as_double() << " -> "
+              << m.events[2].attr(1).as_double() << "  (t=" << m.events[0].ts << ".."
+              << m.events[2].ts << ")\n";
+  }
+  const auto stats = engine->stats();
+  std::cout << "late events: " << stats.late_events
+            << ", peak state: " << stats.footprint_peak << " entries\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "common/args.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <iostream>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+namespace {
+[[noreturn]] void bad(const std::string& msg) { throw std::invalid_argument(msg); }
+}  // namespace
+
+void ArgParser::add_string(std::string name, std::string default_value, std::string help) {
+  options_.push_back(Option{std::move(name), Kind::kString, std::move(help),
+                            std::move(default_value)});
+}
+
+void ArgParser::add_int(std::string name, std::int64_t default_value, std::string help) {
+  options_.push_back(
+      Option{std::move(name), Kind::kInt, std::move(help), std::to_string(default_value)});
+}
+
+void ArgParser::add_double(std::string name, double default_value, std::string help) {
+  options_.push_back(Option{std::move(name), Kind::kDouble, std::move(help),
+                            std::to_string(default_value)});
+}
+
+void ArgParser::add_flag(std::string name, std::string help) {
+  options_.push_back(Option{std::move(name), Kind::kFlag, std::move(help), "0"});
+}
+
+ArgParser::Option& ArgParser::find(const std::string& name, Kind kind) {
+  for (Option& o : options_)
+    if (o.name == name) {
+      OOSP_REQUIRE(o.kind == kind, "option accessed with wrong type: " + name);
+      return o;
+    }
+  bad("unknown option: --" + name);
+}
+
+const ArgParser::Option& ArgParser::find(const std::string& name, Kind kind) const {
+  return const_cast<ArgParser*>(this)->find(name, kind);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) bad("expected an option, got '" + arg + "'");
+    arg = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    Option* opt = nullptr;
+    for (Option& o : options_)
+      if (o.name == arg) opt = &o;
+    if (opt == nullptr) bad("unknown option: --" + arg);
+
+    if (opt->kind == Kind::kFlag) {
+      if (inline_value) bad("flag --" + arg + " does not take a value");
+      opt->value = "1";
+      continue;
+    }
+    std::string value;
+    if (inline_value) {
+      value = *inline_value;
+    } else {
+      if (i + 1 >= argc) bad("option --" + arg + " needs a value");
+      value = argv[++i];
+    }
+    // Validate numeric forms now so errors carry the option name.
+    if (opt->kind == Kind::kInt) {
+      std::int64_t v = 0;
+      const auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), v);
+      if (ec != std::errc{} || p != value.data() + value.size())
+        bad("option --" + arg + " expects an integer, got '" + value + "'");
+    } else if (opt->kind == Kind::kDouble) {
+      try {
+        std::size_t used = 0;
+        (void)std::stod(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        bad("option --" + arg + " expects a number, got '" + value + "'");
+      }
+    }
+    opt->value = std::move(value);
+  }
+  return true;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::kString).value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const Option& o = find(name, Kind::kInt);
+  std::int64_t v = 0;
+  const auto res = std::from_chars(o.value.data(), o.value.data() + o.value.size(), v);
+  OOSP_CHECK(res.ec == std::errc{}, "validated int failed to parse");
+  return v;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return std::stod(find(name, Kind::kDouble).value);
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  return find(name, Kind::kFlag).value == "1";
+}
+
+void ArgParser::print_usage(std::ostream& os) const {
+  os << description_ << "\n\nusage: " << program_ << " [options]\n\noptions:\n";
+  std::size_t width = 0;
+  for (const Option& o : options_) width = std::max(width, o.name.size());
+  for (const Option& o : options_) {
+    os << "  --" << o.name << std::string(width - o.name.size() + 2, ' ') << o.help;
+    if (o.kind != Kind::kFlag) os << " (default: " << o.value << ")";
+    os << "\n";
+  }
+  os << "  --help" << std::string(width - 2, ' ') << "show this message\n";
+}
+
+}  // namespace oosp

@@ -1,0 +1,55 @@
+// Minimal command-line argument parser for the example/tool binaries.
+//
+// Supports `--name value`, `--name=value` and boolean `--flag` forms.
+// Options are declared up front with defaults and help text; unknown
+// options are an error; `--help` prints usage.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace oosp {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description);
+
+  // Declaration order is preserved in --help output.
+  void add_string(std::string name, std::string default_value, std::string help);
+  void add_int(std::string name, std::int64_t default_value, std::string help);
+  void add_double(std::string name, double default_value, std::string help);
+  void add_flag(std::string name, std::string help);  // defaults to false
+
+  // Parses argv. Returns false (after printing usage) when --help was
+  // requested; throws std::invalid_argument on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  const std::string& get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  void print_usage(std::ostream& os) const;
+
+ private:
+  enum class Kind : std::uint8_t { kString, kInt, kDouble, kFlag };
+  struct Option {
+    std::string name;
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual value
+  };
+
+  Option& find(const std::string& name, Kind kind);
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::string program_ = "program";
+  std::vector<Option> options_;
+};
+
+}  // namespace oosp

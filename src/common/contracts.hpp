@@ -1,0 +1,51 @@
+// Lightweight contract macros used across the library.
+//
+// OOSP_REQUIRE  — precondition on public API input; throws std::invalid_argument.
+// OOSP_CHECK    — runtime condition that must hold in all builds; throws
+//                 std::logic_error (used for states reachable only via bugs
+//                 in caller composition, e.g. unsealed clock regressions).
+// OOSP_ASSERT   — internal invariant; compiled out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace oosp::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace oosp::detail
+
+#define OOSP_REQUIRE(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) ::oosp::detail::throw_require(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define OOSP_CHECK(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) ::oosp::detail::throw_check(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define OOSP_ASSERT(cond) ((void)0)
+#else
+#define OOSP_ASSERT(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) ::oosp::detail::throw_check(#cond, __FILE__, __LINE__, "debug assert"); \
+  } while (0)
+#endif

@@ -1,0 +1,26 @@
+#include "common/interner.hpp"
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+Interner::Id Interner::intern(std::string_view name) {
+  if (auto it = index_.find(name); it != index_.end()) return it->second;
+  OOSP_REQUIRE(names_.size() < kInvalid, "interner capacity exhausted");
+  names_.emplace_back(name);
+  const Id id = static_cast<Id>(names_.size() - 1);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+Interner::Id Interner::lookup(std::string_view name) const noexcept {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalid : it->second;
+}
+
+const std::string& Interner::name(Id id) const {
+  OOSP_REQUIRE(id < names_.size(), "unknown intern id");
+  return names_[id];
+}
+
+}  // namespace oosp

@@ -1,0 +1,36 @@
+// String interning: maps names to dense small integer ids and back.
+// Used for event type names so the hot path compares integers, never strings.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace oosp {
+
+class Interner {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kInvalid = static_cast<Id>(-1);
+
+  // Returns the id for `name`, interning it if new.
+  Id intern(std::string_view name);
+
+  // Returns the id for `name` or kInvalid if never interned.
+  Id lookup(std::string_view name) const noexcept;
+
+  // Name for a previously returned id. Requires a valid id.
+  const std::string& name(Id id) const;
+
+  std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  // deque: element addresses are stable across growth, so the string_view
+  // keys in index_ (which alias deque elements) never dangle.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, Id> index_;
+};
+
+}  // namespace oosp

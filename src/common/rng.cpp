@@ -1,0 +1,145 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo > hi) return lo;
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Debiased multiply-shift (Lemire). Span never exceeds 2^63 here.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * span;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < span) {
+    const std::uint64_t t = (0 - span) % span;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * span;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform01(); }
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = uniform01();
+  while (u1 <= 1e-300) u1 = uniform01();
+  const double u2 = uniform01();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::exponential(double rate) noexcept {
+  double u = uniform01();
+  while (u <= 1e-300) u = uniform01();
+  return -std::log(u) / rate;
+}
+
+double Rng::pareto(double x_m, double alpha) noexcept {
+  double u = uniform01();
+  while (u <= 1e-300) u = uniform01();
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+namespace {
+// Helper functions for rejection-inversion Zipf sampling.
+double zipf_h(double x, double s) {
+  if (s == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+}
+double zipf_h_inv(double y, double s) {
+  if (s == 1.0) return std::exp(y);
+  return std::pow(1.0 + y * (1.0 - s), 1.0 / (1.0 - s));
+}
+}  // namespace
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) noexcept {
+  if (n <= 1) return 1;
+  if (s <= 0.0) return static_cast<std::uint64_t>(uniform_int(1, static_cast<std::int64_t>(n)));
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_hx0_ = zipf_h(0.5, s) - 1.0;  // h(x0) with the shifted origin
+    zipf_hxn_ = zipf_h(static_cast<double>(n) + 0.5, s);
+    zipf_cut_ = 1.0 - zipf_h_inv(zipf_h(1.5, s) - 1.0, s);
+  }
+  for (;;) {
+    const double u = zipf_hx0_ + uniform01() * (zipf_hxn_ - zipf_hx0_);
+    const double x = zipf_h_inv(u, s);
+    const auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1 || k > n) continue;
+    if (static_cast<double>(k) - x <= zipf_cut_) return k;
+    if (u >= zipf_h(static_cast<double>(k) + 0.5, s) - std::pow(static_cast<double>(k), -s))
+      return k;
+  }
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return 0;
+  double r = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (r < w) return i;
+    r -= w;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork() noexcept { return Rng(next() ^ 0xd1b54a32d192ed03ull); }
+
+}  // namespace oosp

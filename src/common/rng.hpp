@@ -1,0 +1,67 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic behaviour in the library (workload generation, latency
+// models, property-test sweeps) flows through Rng so that every run is
+// reproducible from a single 64-bit seed. The generator is xoshiro256++,
+// seeded via splitmix64 — fast, high quality, and independent of the
+// standard library's unspecified distributions (we implement our own so
+// results are identical across platforms/compilers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace oosp {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  // Raw 64 random bits.
+  std::uint64_t next() noexcept;
+
+  // Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  // Standard normal via Box–Muller (cached second deviate).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  // Exponential with given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  // Pareto (Lomax-style) with scale x_m > 0 and shape alpha > 0:
+  // samples >= x_m, heavy upper tail for small alpha.
+  double pareto(double x_m, double alpha) noexcept;
+
+  // Zipf-distributed integer in [1, n] with exponent s >= 0 (s=0 uniform).
+  // Uses rejection-inversion (Hörmann/Derflinger) — O(1) per sample.
+  std::uint64_t zipf(std::uint64_t n, double s) noexcept;
+
+  // Pick an index according to a discrete weight vector (weights >= 0,
+  // at least one positive).
+  std::size_t weighted_index(const std::vector<double>& weights) noexcept;
+
+  // Derive an independent child generator (for parallel substreams).
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+
+  // Zipf sampler cache (rebuilt when (n, s) changes).
+  std::uint64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  double zipf_hx0_ = 0.0, zipf_hxn_ = 0.0, zipf_cut_ = 0.0;
+};
+
+}  // namespace oosp

@@ -1,0 +1,107 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+void StatAccumulator::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void StatAccumulator::merge(const StatAccumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StatAccumulator::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double StatAccumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double min_value, double growth, std::size_t buckets)
+    : min_value_(min_value), growth_(growth), counts_(buckets, 0) {
+  OOSP_REQUIRE(min_value > 0.0, "histogram min_value must be positive");
+  OOSP_REQUIRE(growth > 1.0, "histogram growth must exceed 1");
+  OOSP_REQUIRE(buckets >= 2, "histogram needs at least two buckets");
+}
+
+std::size_t Histogram::bucket_for(double x) const noexcept {
+  // bucket i covers [min_value * growth^i, min_value * growth^(i+1))
+  const double r = std::log(x / min_value_) / std::log(growth_);
+  const auto i = static_cast<std::ptrdiff_t>(std::floor(r));
+  if (i < 0) return 0;
+  return std::min(static_cast<std::size_t>(i), counts_.size() - 1);
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  return min_value_ * std::pow(growth_, static_cast<double>(i));
+}
+
+double Histogram::bucket_hi(std::size_t i) const noexcept {
+  return min_value_ * std::pow(growth_, static_cast<double>(i + 1));
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  max_seen_ = std::max(max_seen_, x);
+  if (x < min_value_) {
+    ++underflow_;
+    return;
+  }
+  ++counts_[bucket_for(x)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  OOSP_REQUIRE(counts_.size() == other.counts_.size() && min_value_ == other.min_value_ &&
+                   growth_ == other.growth_,
+               "histogram shapes differ");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+}
+
+void Histogram::reset() noexcept {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = underflow_ = 0;
+  max_seen_ = 0.0;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (rank <= cum) return 0.0;  // inside the underflow mass: below min_value
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (rank <= next && counts_[i] > 0) {
+      const double frac = (rank - cum) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
+    }
+    cum = next;
+  }
+  return max_seen_;
+}
+
+}  // namespace oosp

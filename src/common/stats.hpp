@@ -1,0 +1,69 @@
+// Streaming statistics: scalar accumulators (Welford) and fixed-memory
+// histograms with quantile estimates. Used by the runtime's metrics layer
+// and by the benchmark harnesses for latency distributions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace oosp {
+
+// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class StatAccumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const StatAccumulator& other) noexcept;
+  void reset() noexcept { *this = StatAccumulator{}; }
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Log-bucketed histogram for non-negative values (latencies, sizes).
+// Buckets grow geometrically from `min_value`; quantiles are estimated by
+// linear interpolation inside the winning bucket. Memory is O(buckets).
+class Histogram {
+ public:
+  explicit Histogram(double min_value = 1.0, double growth = 1.25,
+                     std::size_t buckets = 128);
+
+  void add(double x) noexcept;
+  void merge(const Histogram& other);
+  void reset() noexcept;
+
+  std::uint64_t count() const noexcept { return total_; }
+  double quantile(double q) const noexcept;  // q in [0,1]
+  double p50() const noexcept { return quantile(0.50); }
+  double p95() const noexcept { return quantile(0.95); }
+  double p99() const noexcept { return quantile(0.99); }
+  double observed_max() const noexcept { return max_seen_; }
+
+ private:
+  std::size_t bucket_for(double x) const noexcept;
+  double bucket_lo(std::size_t i) const noexcept;
+  double bucket_hi(std::size_t i) const noexcept;
+
+  double min_value_;
+  double growth_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace oosp

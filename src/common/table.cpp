@@ -1,0 +1,89 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  OOSP_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  OOSP_REQUIRE(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::cell(std::uint64_t v) { return std::to_string(v); }
+std::string Table::cell(std::int64_t v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  auto rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << (c == 0 ? "+-" : "-+-");
+      os << std::string(widths[c], '-');
+    }
+    os << "-+\n";
+  };
+
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+namespace {
+void csv_field(std::ostream& os, const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char ch : s) {
+    if (ch == '"') os << '"';
+    os << ch;
+  }
+  os << '"';
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    csv_field(os, headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      csv_field(os, row[c]);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace oosp

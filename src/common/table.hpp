@@ -1,0 +1,37 @@
+// Console table / CSV writers used by the benchmark harnesses to print the
+// per-figure result series in a paper-style layout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace oosp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; cell count must equal header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats arithmetic values with sensible precision.
+  static std::string cell(double v, int precision = 2);
+  static std::string cell(std::uint64_t v);
+  static std::string cell(std::int64_t v);
+
+  // Pretty-prints the aligned table.
+  void print(std::ostream& os) const;
+
+  // Emits RFC-4180-ish CSV (quotes cells containing separators/quotes).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace oosp

@@ -1,0 +1,56 @@
+#include "engine/buffer/kslack_engine.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+KSlackEngine::KSlackEngine(const CompiledQuery& query, MatchSink& sink,
+                           EngineOptions options, const EngineFactory& factory)
+    : PatternEngine(query, sink, options),
+      clock_(options.slack),
+      stamp_(sink, clock_) {
+  OOSP_REQUIRE(options.slack >= 0, "slack must be non-negative");
+  inner_ = factory(query, stamp_, options);
+  OOSP_REQUIRE(inner_ != nullptr, "engine factory returned null");
+}
+
+void KSlackEngine::on_event(const Event& e) {
+  ++stats_.events_seen;
+  const Timestamp lateness = clock_.observe(e);
+  if (lateness > 0) ++stats_.late_events;
+  if (lateness > options_.slack) ++stats_.contract_violations;
+  buffer_.push(e);
+  stats_.note_buffered(1);
+  release_up_to(clock_.now() - options_.slack);
+  stats_.note_footprint(buffer_.size() + inner_->stats().footprint());
+}
+
+void KSlackEngine::release_up_to(Timestamp threshold) {
+  while (!buffer_.empty() && buffer_.top().ts <= threshold) {
+    inner_->on_event(buffer_.top());
+    buffer_.pop();
+    stats_.note_unbuffered(1);
+  }
+}
+
+void KSlackEngine::finish() {
+  release_up_to(kMaxTimestamp);
+  inner_->finish();
+}
+
+EngineStats KSlackEngine::stats() const {
+  EngineStats s = inner_->stats();
+  // Arrival-side counters come from the wrapper; the inner engine only
+  // ever sees an in-order stream.
+  s.events_seen = stats_.events_seen;
+  s.late_events = stats_.late_events;
+  s.contract_violations = stats_.contract_violations;
+  s.buffered += stats_.buffered;
+  s.buffered_peak += stats_.buffered_peak;
+  s.footprint_peak = stats_.footprint_peak;
+  return s;
+}
+
+}  // namespace oosp

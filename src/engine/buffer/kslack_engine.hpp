@@ -1,0 +1,70 @@
+// K-slack reorder buffer: the conventional fix for out-of-order arrival.
+//
+// Holds every arriving event in a priority queue and releases it — in
+// timestamp order — only once the stream clock has advanced K past its
+// timestamp, then feeds an ordinary in-order engine. Under the K-slack
+// contract the released stream is ts-ordered, so the inner engine's
+// results are exactly correct; the price is (a) a buffer holding up to
+// K time-units worth of events on top of the engine state and (b) every
+// result — in-order or not — waiting out the full slack before it can be
+// detected. The native OOO engine (engine/ooo) removes both costs; the
+// benchmark suite quantifies the gap (R-F1..R-F4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+
+#include "engine/core/engine.hpp"
+#include "stream/clock.hpp"
+
+namespace oosp {
+
+using EngineFactory = std::function<std::unique_ptr<PatternEngine>(
+    const CompiledQuery&, MatchSink&, EngineOptions)>;
+
+class KSlackEngine final : public PatternEngine {
+ public:
+  // `options.slack` is K. The inner engine is built by `factory` with the
+  // same query/options and this wrapper's clock-stamping sink.
+  KSlackEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options,
+               const EngineFactory& factory);
+
+  void on_event(const Event& e) override;
+  void finish() override;
+  std::string name() const override { return "kslack+" + inner_->name(); }
+  EngineStats stats() const override;
+
+ private:
+  // Re-stamps detection_clock with the OUTER clock: the inner engine's
+  // clock lags by K, but detection delay must be charged against real
+  // stream progress.
+  class StampSink final : public MatchSink {
+   public:
+    StampSink(MatchSink& downstream, const StreamClock& clock)
+        : downstream_(downstream), clock_(clock) {}
+    void on_match(Match&& m) override {
+      m.detection_clock = clock_.now();
+      downstream_.on_match(std::move(m));
+    }
+
+   private:
+    MatchSink& downstream_;
+    const StreamClock& clock_;
+  };
+
+  void release_up_to(Timestamp threshold);
+
+  StreamClock clock_;
+  StampSink stamp_;
+  std::unique_ptr<PatternEngine> inner_;
+
+  struct TsIdGreater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.ts != b.ts ? a.ts > b.ts : a.id > b.id;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, TsIdGreater> buffer_;
+};
+
+}  // namespace oosp

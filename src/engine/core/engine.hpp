@@ -1,0 +1,85 @@
+// The engine interface every matcher implements.
+//
+// Lifecycle: construct with a compiled query (borrowed; must outlive the
+// engine) and a sink (borrowed likewise); feed events in ARRIVAL order
+// via on_event(); call finish() exactly once at end of stream so engines
+// that hold results for negation sealing or reorder buffering can flush.
+#pragma once
+
+#include <string>
+
+#include "engine/core/sink.hpp"
+#include "engine/core/stats.hpp"
+#include "event/event.hpp"
+#include "query/compiled.hpp"
+
+namespace oosp {
+
+// Tuning knobs shared by the engines; each engine reads the subset that
+// applies to it (documented per field).
+struct EngineOptions {
+  // K-slack bound the input stream is trusted to satisfy. Used by the
+  // OOO engine (purge horizon + negation sealing) and by the reorder
+  // buffer (release threshold). Ignored by the plain in-order engines.
+  Timestamp slack = 0;
+
+  // Events between purge passes. 1 = purge on every event (eager);
+  // 0 = never purge (for the ablation that shows why purging matters).
+  std::size_t purge_period = 64;
+
+  // Use hash-partitioned stacks when the query has a full equi-join key
+  // (CompiledQuery::partitionable()). OOO and in-order engines.
+  bool partition_by_key = true;
+
+  // OOO engine only: maintain cached rightmost-instance pointers,
+  // updated on out-of-order insertion, instead of re-deriving the
+  // predecessor range by binary search during construction (R-A3).
+  bool cache_rip = false;
+
+  // OOO engine only: output policy for matches with negated steps.
+  //
+  // Conservative (false, default): hold a candidate until its negation
+  // interval seals (clock >= interval end + K), then emit or drop — every
+  // emission is final, at the cost of up to K of added delay.
+  //
+  // Aggressive (true): emit the candidate IMMEDIATELY if no buffered
+  // negative violates it, and issue a RETRACTION (MatchSink::on_retract)
+  // if a late negative lands inside the interval before it seals. Zero
+  // added delay; downstream must tolerate revisions. The net result set
+  // (emissions minus retractions) equals the conservative result set.
+  bool aggressive_negation = false;
+};
+
+class PatternEngine {
+ public:
+  PatternEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options)
+      : query_(query), sink_(sink), options_(options) {}
+  virtual ~PatternEngine() = default;
+
+  PatternEngine(const PatternEngine&) = delete;
+  PatternEngine& operator=(const PatternEngine&) = delete;
+
+  virtual void on_event(const Event& e) = 0;
+  virtual void finish() {}
+
+  virtual std::string name() const = 0;
+
+  // Wrapper engines (e.g. the K-slack reorder buffer) override this to
+  // merge their own buffering counters with the wrapped engine's.
+  virtual EngineStats stats() const { return stats_; }
+  const CompiledQuery& query() const noexcept { return query_; }
+  const EngineOptions& options() const noexcept { return options_; }
+
+ protected:
+  void emit(Match&& m) {
+    ++stats_.matches_emitted;
+    sink_.on_match(std::move(m));
+  }
+
+  const CompiledQuery& query_;
+  MatchSink& sink_;
+  EngineOptions options_;
+  EngineStats stats_;
+};
+
+}  // namespace oosp

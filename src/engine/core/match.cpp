@@ -1,0 +1,23 @@
+#include "engine/core/match.hpp"
+
+#include <ostream>
+
+namespace oosp {
+
+MatchKey match_key(const Match& m) {
+  MatchKey k;
+  k.reserve(m.events.size());
+  for (const Event& e : m.events) k.push_back(e.id);
+  return k;
+}
+
+std::ostream& operator<<(std::ostream& os, const Match& m) {
+  os << "Match{";
+  for (std::size_t i = 0; i < m.events.size(); ++i) {
+    if (i) os << " -> ";
+    os << "#" << m.events[i].id << "@" << m.events[i].ts;
+  }
+  return os << "}";
+}
+
+}  // namespace oosp

@@ -1,0 +1,38 @@
+// A detected pattern match and its identity key.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "event/event.hpp"
+
+namespace oosp {
+
+struct Match {
+  // One event per POSITIVE step, in pattern order. Timestamps are
+  // strictly increasing left to right.
+  std::vector<Event> events;
+
+  // Stream clock (max ts delivered) at the moment the match was emitted.
+  // Filled by the driver/sink wrapper; engines may leave it at kMin.
+  Timestamp detection_clock = kMinTimestamp;
+
+  Timestamp first_ts() const noexcept { return events.front().ts; }
+  Timestamp last_ts() const noexcept { return events.back().ts; }
+
+  // Detection delay in stream time: how far the clock had moved past the
+  // pattern-completing timestamp when the result came out. Zero for an
+  // engine that reports a result the instant its final event arrives in
+  // order; ≈K for a K-slack buffered engine.
+  Timestamp detection_delay() const noexcept { return detection_clock - last_ts(); }
+};
+
+// Identity of a match: the event ids bound to the positive steps.
+using MatchKey = std::vector<EventId>;
+
+MatchKey match_key(const Match& m);
+
+std::ostream& operator<<(std::ostream& os, const Match& m);
+
+}  // namespace oosp

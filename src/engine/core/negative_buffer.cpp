@@ -1,0 +1,65 @@
+#include "engine/core/negative_buffer.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+NegativeBuffer::NegativeBuffer(const CompiledQuery& query, std::size_t step)
+    : query_(query), step_(step) {
+  const CompiledStep& s = query.step(step);
+  OOSP_REQUIRE(s.negated, "NegativeBuffer requires a negated step");
+  for (std::size_t i = 0; i < query.predicates().size(); ++i) {
+    const CompiledPredicate& p = query.predicates()[i];
+    if (!p.references(step)) continue;
+    if (p.steps().size() == 1) continue;  // local; evaluated before insert
+    check_predicates_.push_back(i);
+  }
+}
+
+void NegativeBuffer::insert(const Event& e) {
+  if (events_.empty() || TsIdLess{}(events_.back(), e)) {
+    events_.push_back(e);
+    return;
+  }
+  const auto it = std::lower_bound(events_.begin(), events_.end(), e, TsIdLess{});
+  events_.insert(it, e);
+}
+
+bool NegativeBuffer::violates(Timestamp lo, Timestamp hi,
+                              std::span<const Event*> bindings,
+                              std::uint64_t& predicate_evals) const {
+  if (lo >= hi) return false;
+  // First candidate with ts > lo (strict interior).
+  auto it = std::lower_bound(events_.begin(), events_.end(), lo,
+                             [](const Event& e, Timestamp t) { return e.ts <= t; });
+  bool found = false;
+  for (; it != events_.end() && it->ts < hi; ++it) {
+    bindings[step_] = &*it;
+    bool ok = true;
+    for (const std::size_t pi : check_predicates_) {
+      ++predicate_evals;
+      if (!query_.predicates()[pi].eval(bindings)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      found = true;
+      break;
+    }
+  }
+  bindings[step_] = nullptr;
+  return found;
+}
+
+std::size_t NegativeBuffer::purge_before(Timestamp threshold) {
+  const auto it = std::lower_bound(events_.begin(), events_.end(), threshold,
+                                   [](const Event& e, Timestamp t) { return e.ts < t; });
+  const auto n = static_cast<std::size_t>(it - events_.begin());
+  events_.erase(events_.begin(), it);
+  return n;
+}
+
+}  // namespace oosp

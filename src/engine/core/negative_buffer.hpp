@@ -1,0 +1,46 @@
+// Buffer of candidate events for one negated step, ordered by (ts, id).
+//
+// Engines insert every arriving event of the negated step's type that
+// passes the step's local predicates; candidate matches are then checked
+// for a violating negative in the open interval (lo, hi) with the
+// remaining negation predicates evaluated against the match's positive
+// bindings.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "event/event.hpp"
+#include "query/compiled.hpp"
+
+namespace oosp {
+
+class NegativeBuffer {
+ public:
+  // `step` is the pattern index of the negated step this buffer serves.
+  NegativeBuffer(const CompiledQuery& query, std::size_t step);
+
+  // Inserts in (ts, id) order; appending arrivals are O(1).
+  void insert(const Event& e);
+
+  // True iff a buffered negative with lo < ts < hi satisfies every
+  // predicate referencing the negated step. `bindings` must have the
+  // match's positive bindings filled; slot `step` is used as scratch and
+  // restored to null. `predicate_evals` is incremented per evaluation.
+  bool violates(Timestamp lo, Timestamp hi, std::span<const Event*> bindings,
+                std::uint64_t& predicate_evals) const;
+
+  // Removes events with ts < threshold; returns how many.
+  std::size_t purge_before(Timestamp threshold);
+
+  std::size_t size() const noexcept { return events_.size(); }
+  std::size_t step() const noexcept { return step_; }
+
+ private:
+  const CompiledQuery& query_;
+  std::size_t step_;
+  std::vector<std::size_t> check_predicates_;  // preds referencing step_, minus locals
+  std::vector<Event> events_;                  // sorted by (ts, id)
+};
+
+}  // namespace oosp

@@ -1,0 +1,31 @@
+#include "engine/core/schedule.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+std::vector<std::vector<std::size_t>> build_predicate_schedule(
+    const CompiledQuery& query, std::span<const std::size_t> binding_order) {
+  std::vector<std::size_t> position(query.num_steps(), CompiledStep::npos);
+  for (std::size_t k = 0; k < binding_order.size(); ++k) {
+    OOSP_REQUIRE(binding_order[k] < query.num_steps(), "binding order step out of range");
+    position[binding_order[k]] = k;
+  }
+  for (const std::size_t p : query.positive_steps())
+    OOSP_REQUIRE(position[p] != CompiledStep::npos,
+                 "binding order must cover every positive step");
+
+  std::vector<std::vector<std::size_t>> sched(binding_order.size());
+  for (std::size_t i = 0; i < query.predicates().size(); ++i) {
+    const CompiledPredicate& p = query.predicates()[i];
+    if (!p.positive_only() || p.steps().size() < 2) continue;
+    std::size_t ready_at = 0;
+    for (const std::size_t s : p.steps()) ready_at = std::max(ready_at, position[s]);
+    sched[ready_at].push_back(i);
+  }
+  return sched;
+}
+
+}  // namespace oosp

@@ -1,0 +1,24 @@
+// Predicate scheduling: decide, for a given step-binding order, at which
+// position each multi-step positive predicate becomes fully bound so the
+// enumeration can prune as early as possible.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "query/compiled.hpp"
+
+namespace oosp {
+
+// `binding_order` lists pattern step indices in the order an enumeration
+// binds them (it must contain every positive step; negated steps are
+// ignored). Returns sched where sched[k] holds indices of positive-only
+// predicates that (a) reference at least two steps and (b) have all
+// referenced steps bound once position k is bound, and not earlier.
+// Single-step (local) predicates are excluded: engines apply them at scan
+// time. Predicates touching negated steps are excluded: they run at
+// negation-check time.
+std::vector<std::vector<std::size_t>> build_predicate_schedule(
+    const CompiledQuery& query, std::span<const std::size_t> binding_order);
+
+}  // namespace oosp

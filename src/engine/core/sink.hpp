@@ -1,0 +1,112 @@
+// Match sinks: where engines deliver results.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <vector>
+
+#include "engine/core/match.hpp"
+
+namespace oosp {
+
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+  virtual void on_match(Match&& m) = 0;
+
+  // Revision of an earlier on_match: the engine has learned (from a late
+  // negative event) that the match is invalid. Only engines running the
+  // aggressive output policy ever call this; the default ignores it, so
+  // conservative pipelines need not care.
+  virtual void on_retract(const Match& m) { (void)m; }
+};
+
+// Discards matches (pure-throughput benchmarking).
+class NullSink final : public MatchSink {
+ public:
+  void on_match(Match&&) override { ++count_; }
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+// Counts matches and aggregates detection delay without storing bodies.
+class CountingSink final : public MatchSink {
+ public:
+  void on_match(Match&& m) override {
+    ++count_;
+    total_delay_ += m.detection_delay();
+    max_delay_ = std::max(max_delay_, m.detection_delay());
+  }
+  void on_retract(const Match&) override { ++retractions_; }
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t retractions() const noexcept { return retractions_; }
+  double mean_delay() const noexcept {
+    return count_ ? static_cast<double>(total_delay_) / static_cast<double>(count_) : 0.0;
+  }
+  Timestamp max_delay() const noexcept { return max_delay_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t retractions_ = 0;
+  Timestamp total_delay_ = 0;
+  Timestamp max_delay_ = 0;
+};
+
+// Stores every match; used by tests and the verification harness.
+class CollectingSink final : public MatchSink {
+ public:
+  void on_match(Match&& m) override { matches_.push_back(std::move(m)); }
+  void on_retract(const Match& m) override { retracted_.push_back(m); }
+
+  const std::vector<Match>& matches() const noexcept { return matches_; }
+  const std::vector<Match>& retracted() const noexcept { return retracted_; }
+  std::size_t size() const noexcept { return matches_.size(); }
+  void clear() noexcept {
+    matches_.clear();
+    retracted_.clear();
+  }
+
+  // Sorted identity keys; duplicates preserved (an engine emitting the
+  // same logical match twice is a bug that tests must be able to see).
+  std::vector<MatchKey> sorted_keys() const {
+    std::vector<MatchKey> keys;
+    keys.reserve(matches_.size());
+    for (const Match& m : matches_) keys.push_back(match_key(m));
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  // Net result under the aggressive policy: emissions minus retractions
+  // (multiset difference), sorted.
+  std::vector<MatchKey> net_sorted_keys() const {
+    std::vector<MatchKey> keys = sorted_keys();
+    std::vector<MatchKey> gone;
+    gone.reserve(retracted_.size());
+    for (const Match& m : retracted_) gone.push_back(match_key(m));
+    std::sort(gone.begin(), gone.end());
+    std::vector<MatchKey> net;
+    std::set_difference(keys.begin(), keys.end(), gone.begin(), gone.end(),
+                        std::back_inserter(net));
+    return net;
+  }
+
+ private:
+  std::vector<Match> matches_;
+  std::vector<Match> retracted_;
+};
+
+// Adapts a lambda.
+class FunctionSink final : public MatchSink {
+ public:
+  explicit FunctionSink(std::function<void(Match&&)> fn) : fn_(std::move(fn)) {}
+  void on_match(Match&& m) override { fn_(std::move(m)); }
+
+ private:
+  std::function<void(Match&&)> fn_;
+};
+
+}  // namespace oosp

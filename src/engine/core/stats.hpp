@@ -1,0 +1,74 @@
+// Uniform engine counters, reported by every engine implementation.
+// `current/peak_instances` count partial-match state (stack instances or
+// NFA runs); `buffered` counts events parked in reorder or negation
+// buffers; `pending_matches` counts results awaiting negation sealing.
+// `construction_visits` and `predicate_evals` are the CPU-cost proxies
+// the benchmark tables report alongside wall-clock throughput.
+#pragma once
+
+#include <cstdint>
+
+namespace oosp {
+
+struct EngineStats {
+  std::uint64_t events_seen = 0;
+  std::uint64_t events_relevant = 0;
+  std::uint64_t late_events = 0;
+  // Events later than the configured slack: the K-slack contract the
+  // engine's purge/sealing decisions rely on was broken — results may be
+  // missing matches whose state was already purged. Monitor this.
+  std::uint64_t contract_violations = 0;
+
+  std::uint64_t instances_inserted = 0;
+  std::uint64_t instances_purged = 0;
+  std::uint64_t current_instances = 0;
+  std::uint64_t peak_instances = 0;
+
+  std::uint64_t buffered = 0;
+  std::uint64_t buffered_peak = 0;
+
+  std::uint64_t pending_matches = 0;
+  std::uint64_t pending_peak = 0;
+
+  std::uint64_t matches_emitted = 0;
+  std::uint64_t matches_cancelled = 0;  // pending matches killed by a negative
+  std::uint64_t matches_retracted = 0;  // aggressive policy: revisions issued
+
+  std::uint64_t construction_visits = 0;
+  std::uint64_t predicate_evals = 0;
+  std::uint64_t purge_passes = 0;
+
+  // Total live state right now (instances + buffers + pending).
+  std::uint64_t footprint() const noexcept {
+    return current_instances + buffered + pending_matches;
+  }
+
+  // High-water mark of footprint() over time — THE memory metric the
+  // benchmark tables report. Engines refresh it once per on_event.
+  std::uint64_t footprint_peak = 0;
+
+  void note_footprint(std::uint64_t current) noexcept {
+    footprint_peak = current > footprint_peak ? current : footprint_peak;
+  }
+
+  void note_instance_added() noexcept {
+    ++instances_inserted;
+    ++current_instances;
+    peak_instances = current_instances > peak_instances ? current_instances : peak_instances;
+  }
+  void note_instances_removed(std::uint64_t n) noexcept {
+    instances_purged += n;
+    current_instances -= n;
+  }
+  void note_buffered(std::uint64_t delta_sign_positive) noexcept {
+    buffered += delta_sign_positive;
+    buffered_peak = buffered > buffered_peak ? buffered : buffered_peak;
+  }
+  void note_unbuffered(std::uint64_t n) noexcept { buffered -= n; }
+  void note_pending_added() noexcept {
+    ++pending_matches;
+    pending_peak = pending_matches > pending_peak ? pending_matches : pending_peak;
+  }
+};
+
+}  // namespace oosp

@@ -1,0 +1,48 @@
+#include "engine/engines.hpp"
+
+#include "common/contracts.hpp"
+#include "engine/buffer/kslack_engine.hpp"
+#include "engine/inorder/inorder_engine.hpp"
+#include "engine/nfa/nfa_engine.hpp"
+#include "engine/ooo/ooo_engine.hpp"
+
+namespace oosp {
+
+std::string_view to_string(EngineKind k) noexcept {
+  switch (k) {
+    case EngineKind::kInOrder: return "inorder-ssc";
+    case EngineKind::kNfa: return "nfa-runs";
+    case EngineKind::kOoo: return "ooo-native";
+    case EngineKind::kKSlackInOrder: return "kslack+inorder-ssc";
+    case EngineKind::kKSlackNfa: return "kslack+nfa-runs";
+  }
+  return "?";
+}
+
+std::unique_ptr<PatternEngine> make_engine(EngineKind kind, const CompiledQuery& query,
+                                           MatchSink& sink, EngineOptions options) {
+  switch (kind) {
+    case EngineKind::kInOrder:
+      return std::make_unique<InOrderEngine>(query, sink, options);
+    case EngineKind::kNfa:
+      return std::make_unique<NfaEngine>(query, sink, options);
+    case EngineKind::kOoo:
+      return std::make_unique<OooEngine>(query, sink, options);
+    case EngineKind::kKSlackInOrder:
+      return std::make_unique<KSlackEngine>(
+          query, sink, options,
+          [](const CompiledQuery& q, MatchSink& s, EngineOptions o) {
+            return std::make_unique<InOrderEngine>(q, s, o);
+          });
+    case EngineKind::kKSlackNfa:
+      return std::make_unique<KSlackEngine>(
+          query, sink, options,
+          [](const CompiledQuery& q, MatchSink& s, EngineOptions o) {
+            return std::make_unique<NfaEngine>(q, s, o);
+          });
+  }
+  OOSP_CHECK(false, "unknown engine kind");
+  return nullptr;
+}
+
+}  // namespace oosp

@@ -1,0 +1,25 @@
+// Factory over every engine in the repository — the convenient entry
+// point for examples, tests and benchmarks that sweep engines.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "engine/core/engine.hpp"
+
+namespace oosp {
+
+enum class EngineKind : std::uint8_t {
+  kInOrder,        // in-order SSC stacks (baseline; wrong under OOO input)
+  kNfa,            // NFA runs (baseline; wrong under OOO input)
+  kOoo,            // native out-of-order engine (the paper's approach)
+  kKSlackInOrder,  // K-slack reorder buffer + in-order SSC (conventional fix)
+  kKSlackNfa,      // K-slack reorder buffer + NFA runs
+};
+
+std::string_view to_string(EngineKind k) noexcept;
+
+std::unique_ptr<PatternEngine> make_engine(EngineKind kind, const CompiledQuery& query,
+                                           MatchSink& sink, EngineOptions options = {});
+
+}  // namespace oosp

@@ -1,0 +1,77 @@
+// In-order Sequence Scan & Construction engine (SASE lineage).
+//
+// The state of the art the paper starts from. One Active Instance Stack
+// per positive step; every pushed instance records a rightmost-instance
+// pointer (RIP) — the virtual end index of the previous step's stack at
+// push time — so sequence construction is a pointer-bounded depth-first
+// enumeration triggered by arrivals of the last positive step's type.
+//
+// CORRECT ONLY FOR TS-ORDERED ARRIVAL. Fed out-of-order input it misses
+// matches (a late event is pushed above instances it should precede, and
+// triggers that already fired never see it) and purges state that late
+// events still need. Experiment R-T2 quantifies exactly that; the buffer
+// front-end (engine/buffer) or the native OOO engine (engine/ooo) are the
+// two remedies this repository compares.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/core/engine.hpp"
+#include "engine/core/negative_buffer.hpp"
+#include "stream/clock.hpp"
+
+namespace oosp {
+
+class InOrderEngine final : public PatternEngine {
+ public:
+  InOrderEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options = {});
+
+  void on_event(const Event& e) override;
+  std::string name() const override { return "inorder-ssc"; }
+
+ private:
+  struct Instance {
+    Event event;
+    std::size_t rip;  // virtual end index of the previous stack at push time
+  };
+
+  // Deque plus a virtual base so RIPs survive front purges.
+  struct Stack {
+    std::deque<Instance> items;
+    std::size_t base = 0;
+    std::size_t virtual_end() const noexcept { return base + items.size(); }
+    const Instance& at_virtual(std::size_t v) const { return items[v - base]; }
+  };
+
+  struct Shard {
+    std::vector<Stack> stacks;          // indexed by positive ordinal
+    std::vector<NegativeBuffer> negatives;  // indexed by negated ordinal
+  };
+
+  Shard make_shard() const;
+  Shard& shard_for(const Value& key);
+  void process_in_shard(Shard& shard, const Event& e, std::size_t step);
+  void construct(Shard& shard, const Instance& trigger);
+  void descend(Shard& shard, std::size_t ordinal, std::size_t rip_limit,
+               Timestamp succ_ts, Timestamp window_floor);
+  void emit_candidate(Shard& shard);
+  void purge(Shard& shard, Timestamp threshold);
+  void maybe_purge();
+
+  StreamClock clock_;
+  bool partitioned_ = false;
+  std::vector<std::size_t> ordinal_of_step_;   // pattern step → ordinal in its class
+  std::vector<std::size_t> step_of_positive_;  // positive ordinal → pattern step
+  std::vector<std::size_t> step_of_negated_;   // negated ordinal → pattern step
+  std::vector<std::vector<std::size_t>> schedule_;  // descending positive order
+  std::vector<const Event*> bindings_;
+  std::vector<const Event*> single_;  // scratch for local predicate checks
+  std::size_t events_since_purge_ = 0;
+
+  Shard root_;  // used when not partitioned
+  std::unordered_map<Value, Shard, ValueHasher> shards_;
+};
+
+}  // namespace oosp

@@ -1,0 +1,159 @@
+#include "engine/nfa/nfa_engine.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "engine/core/schedule.hpp"
+
+namespace oosp {
+
+NfaEngine::NfaEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options)
+    : PatternEngine(query, sink, options) {
+  ordinal_of_step_.assign(query.num_steps(), CompiledStep::npos);
+  for (std::size_t s = 0; s < query.num_steps(); ++s) {
+    if (query.step(s).negated) {
+      ordinal_of_step_[s] = step_of_negated_.size();
+      step_of_negated_.push_back(s);
+    } else {
+      ordinal_of_step_[s] = step_of_positive_.size();
+      step_of_positive_.push_back(s);
+    }
+  }
+  schedule_ = build_predicate_schedule(query, step_of_positive_);
+  bindings_.assign(query.num_steps(), nullptr);
+  single_.assign(query.num_steps(), nullptr);
+  // States 0..n-2 hold incomplete runs (a run completing state n-1 emits
+  // immediately and is never stored).
+  runs_.resize(step_of_positive_.size() > 1 ? step_of_positive_.size() - 1 : 0);
+  negatives_.reserve(step_of_negated_.size());
+  for (const std::size_t step : step_of_negated_) negatives_.emplace_back(query_, step);
+}
+
+bool NfaEngine::passes_local(std::size_t step, const Event& e) {
+  single_[step] = &e;
+  bool ok = true;
+  for (const std::size_t pi : query_.step(step).local_predicates) {
+    ++stats_.predicate_evals;
+    if (!query_.predicates()[pi].eval(single_)) {
+      ok = false;
+      break;
+    }
+  }
+  single_[step] = nullptr;
+  return ok;
+}
+
+void NfaEngine::on_event(const Event& e) {
+  ++stats_.events_seen;
+  if (clock_.observe(e) > 0) ++stats_.late_events;
+  const auto steps = query_.steps_for_type(e.type);
+  if (!steps.empty()) {
+    ++stats_.events_relevant;
+    // Descending ordinal order so an event never extends a run it just
+    // created/extended in this same round.
+    std::vector<std::size_t> matched;
+    for (const std::size_t step : steps)
+      if (passes_local(step, e)) matched.push_back(step);
+    for (auto it = matched.rbegin(); it != matched.rend(); ++it) {
+      const std::size_t step = *it;
+      if (query_.step(step).negated) {
+        negatives_[ordinal_of_step_[step]].insert(e);
+        stats_.note_buffered(1);
+      } else {
+        try_extend(ordinal_of_step_[step], e);
+      }
+    }
+  }
+  maybe_purge();
+  stats_.note_footprint(stats_.footprint());
+}
+
+void NfaEngine::try_extend(std::size_t ordinal, const Event& e) {
+  const std::size_t n = step_of_positive_.size();
+  if (ordinal == 0) {
+    Run r;
+    r.bound.push_back(e);
+    ++stats_.construction_visits;
+    if (n == 1) {
+      complete(r, e);
+    } else {
+      runs_[0].push_back(std::move(r));
+      stats_.note_instance_added();
+    }
+    return;
+  }
+  // Extend every run parked in state ordinal-1. New runs are appended to
+  // runs_[ordinal], never rescanned in this call.
+  for (const Run& run : runs_[ordinal - 1]) {
+    ++stats_.construction_visits;
+    if (run.bound.back().ts >= e.ts) continue;               // strict sequencing
+    if (e.ts - run.bound.front().ts > query_.window()) continue;  // window
+    // Bind and check predicates that become ready at this ordinal.
+    for (std::size_t k = 0; k < run.bound.size(); ++k)
+      bindings_[step_of_positive_[k]] = &run.bound[k];
+    bindings_[step_of_positive_[ordinal]] = &e;
+    bool ok = true;
+    for (const std::size_t pi : schedule_[ordinal]) {
+      ++stats_.predicate_evals;
+      if (!query_.predicates()[pi].eval(bindings_)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      if (ordinal == n - 1) {
+        complete(run, e);
+      } else {
+        Run extended = run;
+        extended.bound.push_back(e);
+        runs_[ordinal].push_back(std::move(extended));
+        stats_.note_instance_added();
+      }
+    }
+    for (std::size_t k = 0; k <= ordinal; ++k) bindings_[step_of_positive_[k]] = nullptr;
+  }
+}
+
+void NfaEngine::complete(const Run& run, const Event& last) {
+  for (std::size_t k = 0; k < run.bound.size(); ++k)
+    bindings_[step_of_positive_[k]] = &run.bound[k];
+  bindings_[step_of_positive_.back()] = &last;
+  bool negated_away = false;
+  for (std::size_t i = 0; i < step_of_negated_.size() && !negated_away; ++i) {
+    const CompiledStep& s = query_.step(step_of_negated_[i]);
+    const Timestamp lo = bindings_[s.prev_positive]->ts;
+    const Timestamp hi = bindings_[s.next_positive]->ts;
+    negated_away = negatives_[i].violates(lo, hi, bindings_, stats_.predicate_evals);
+  }
+  if (!negated_away) {
+    Match m;
+    m.events.reserve(step_of_positive_.size());
+    for (const std::size_t p : step_of_positive_) m.events.push_back(*bindings_[p]);
+    m.detection_clock = clock_.now();
+    emit(std::move(m));
+  }
+  for (const std::size_t p : step_of_positive_) bindings_[p] = nullptr;
+}
+
+void NfaEngine::maybe_purge() {
+  if (options_.purge_period == 0) return;
+  if (++events_since_purge_ < options_.purge_period) return;
+  events_since_purge_ = 0;
+  if (!clock_.started()) return;
+  const Timestamp threshold = clock_.now() - query_.window();
+  ++stats_.purge_passes;
+  for (auto& state : runs_) {
+    // A run's window is anchored at its first binding; extension order
+    // does not preserve first-binding order inside a state, so purge by
+    // full sweep rather than front-popping.
+    const auto removed = std::erase_if(
+        state, [&](const Run& r) { return r.bound.front().ts < threshold; });
+    if (removed) stats_.note_instances_removed(removed);
+  }
+  for (NegativeBuffer& nb : negatives_) {
+    const std::size_t removed = nb.purge_before(threshold);
+    if (removed) stats_.note_unbuffered(removed);
+  }
+}
+
+}  // namespace oosp

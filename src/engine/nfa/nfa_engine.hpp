@@ -1,0 +1,57 @@
+// NFA-run engine: one run per partial match.
+//
+// The second conventional baseline. Each partial match is materialized
+// as its own run (a copy of the events bound so far); an arriving event
+// extends every run waiting in the matching state. Result semantics are
+// identical to the stack-based engines (skip-till-any-match), but state
+// is the number of PARTIAL MATCHES rather than the number of events —
+// combinatorially larger under bursty inputs, which is precisely the gap
+// the stack-based SSC design closes (experiment R-F5).
+//
+// Like InOrderEngine this engine assumes ts-ordered arrival; under
+// out-of-order input it misses matches (a late event cannot extend runs
+// whose next binding already has a larger timestamp… it simply never
+// sees them) and purges runs late events still need.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "engine/core/engine.hpp"
+#include "engine/core/negative_buffer.hpp"
+#include "stream/clock.hpp"
+
+namespace oosp {
+
+class NfaEngine final : public PatternEngine {
+ public:
+  NfaEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options = {});
+
+  void on_event(const Event& e) override;
+  std::string name() const override { return "nfa-runs"; }
+
+ private:
+  struct Run {
+    std::vector<Event> bound;  // events for positive ordinals 0..bound.size()-1
+  };
+
+  bool passes_local(std::size_t step, const Event& e);
+  void try_extend(std::size_t ordinal, const Event& e);
+  void complete(const Run& run, const Event& last);
+  void maybe_purge();
+
+  StreamClock clock_;
+  std::vector<std::size_t> step_of_positive_;
+  std::vector<std::size_t> step_of_negated_;
+  std::vector<std::size_t> ordinal_of_step_;
+  std::vector<std::vector<std::size_t>> schedule_;  // ascending positive order
+  std::vector<const Event*> bindings_;
+  std::vector<const Event*> single_;
+
+  // runs_[k]: runs with k+1 steps bound, waiting for positive ordinal k+1.
+  std::vector<std::deque<Run>> runs_;
+  std::vector<NegativeBuffer> negatives_;
+  std::size_t events_since_purge_ = 0;
+};
+
+}  // namespace oosp

@@ -1,0 +1,392 @@
+#include "engine/ooo/ooo_engine.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "engine/core/schedule.hpp"
+
+namespace oosp {
+
+OooEngine::OooEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options)
+    : PatternEngine(query, sink, options), clock_(options.slack) {
+  OOSP_REQUIRE(options.slack >= 0, "slack must be non-negative");
+  ordinal_of_step_.assign(query.num_steps(), CompiledStep::npos);
+  for (std::size_t s = 0; s < query.num_steps(); ++s) {
+    if (query.step(s).negated) {
+      ordinal_of_step_[s] = step_of_negated_.size();
+      step_of_negated_.push_back(s);
+    } else {
+      ordinal_of_step_[s] = step_of_positive_.size();
+      step_of_positive_.push_back(s);
+    }
+  }
+  // One predicate schedule per anchor ordinal: binding order
+  // a, a−1, …, 0, a+1, …, n−1 (as pattern step indices).
+  const std::size_t n = step_of_positive_.size();
+  anchored_schedule_.resize(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    for (std::size_t k = a + 1; k-- > 0;) order.push_back(step_of_positive_[k]);
+    for (std::size_t k = a + 1; k < n; ++k) order.push_back(step_of_positive_[k]);
+    anchored_schedule_[a] = build_predicate_schedule(query, order);
+  }
+  bindings_.assign(query.num_steps(), nullptr);
+  single_.assign(query.num_steps(), nullptr);
+
+  neg_check_predicates_.resize(step_of_negated_.size());
+  for (std::size_t i = 0; i < step_of_negated_.size(); ++i) {
+    for (std::size_t pi = 0; pi < query.predicates().size(); ++pi) {
+      const CompiledPredicate& p = query.predicates()[pi];
+      if (p.references(step_of_negated_[i]) && p.steps().size() > 1)
+        neg_check_predicates_[i].push_back(pi);
+    }
+  }
+
+  partitioned_ = options_.partition_by_key && query.partitionable() &&
+                 std::none_of(query.partition_slots().begin(), query.partition_slots().end(),
+                              [](std::size_t s) { return s == CompiledStep::npos; });
+  if (!partitioned_) root_ = make_shard();
+}
+
+OooEngine::Shard OooEngine::make_shard() const {
+  Shard sh;
+  sh.stacks.resize(step_of_positive_.size());
+  sh.negatives.reserve(step_of_negated_.size());
+  for (const std::size_t step : step_of_negated_) sh.negatives.emplace_back(query_, step);
+  return sh;
+}
+
+OooEngine::Shard& OooEngine::shard_for(const Value& key) {
+  if (!partitioned_) return root_;
+  auto it = shards_.find(key);
+  if (it == shards_.end()) it = shards_.emplace(key, make_shard()).first;
+  return it->second;
+}
+
+OooEngine::Shard* OooEngine::find_shard(const Value& key) {
+  if (!partitioned_) return &root_;
+  auto it = shards_.find(key);
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+bool OooEngine::passes_local(std::size_t step, const Event& e) {
+  single_[step] = &e;
+  bool ok = true;
+  for (const std::size_t pi : query_.step(step).local_predicates) {
+    ++stats_.predicate_evals;
+    if (!query_.predicates()[pi].eval(single_)) {
+      ok = false;
+      break;
+    }
+  }
+  single_[step] = nullptr;
+  return ok;
+}
+
+void OooEngine::on_event(const Event& e) {
+  ++stats_.events_seen;
+  const Timestamp lateness = clock_.observe(e);
+  if (lateness > 0) ++stats_.late_events;
+  if (lateness > options_.slack) ++stats_.contract_violations;
+  for (const std::size_t step : query_.steps_for_type(e.type)) {
+    if (!passes_local(step, e)) continue;
+    const Value key =
+        partitioned_ ? e.attr(query_.partition_slots()[step]) : Value{};
+    Shard& shard = shard_for(key);
+    if (query_.step(step).negated) {
+      shard.negatives[ordinal_of_step_[step]].insert(e);
+      stats_.note_buffered(1);
+      if (options_.aggressive_negation) handle_late_negative(key, e, step);
+    } else {
+      insert_positive(shard, key, e, step);
+    }
+  }
+  if (!query_.steps_for_type(e.type).empty()) ++stats_.events_relevant;
+  process_pending();
+  maybe_purge(false);
+  stats_.note_footprint(stats_.footprint());
+}
+
+void OooEngine::insert_positive(Shard& shard, const Value& key, const Event& e,
+                                std::size_t step) {
+  const std::size_t a = ordinal_of_step_[step];
+  SortedStack& stack = shard.stacks[a];
+  const std::size_t idx = stack.insert(e);
+  stats_.note_instance_added();
+  if (options_.cache_rip) {
+    stack[idx].rip = a == 0 ? 0 : shard.stacks[a - 1].count_ts_below(e.ts);
+    if (a + 1 < shard.stacks.size()) {
+      SortedStack& next = shard.stacks[a + 1];
+      next.bump_rips_from(next.first_ts_above(e.ts), 1);
+    }
+  }
+  construct_anchored(shard, key, a, idx);
+}
+
+void OooEngine::construct_anchored(Shard& shard, const Value& key,
+                                   std::size_t anchor_ordinal, std::size_t anchor_index) {
+  const OooInstance& anchor = shard.stacks[anchor_ordinal][anchor_index];
+  const std::size_t anchor_step = step_of_positive_[anchor_ordinal];
+  bindings_[anchor_step] = &anchor.event;
+  ++stats_.construction_visits;
+  // Multi-step predicates are never ready at position 0, so descend
+  // straight away.
+  if (anchor_ordinal > 0) {
+    left_phase(shard, key, anchor_ordinal - 1, anchor_ordinal, anchor);
+  } else if (step_of_positive_.size() > 1) {
+    right_phase(shard, key, 1, anchor_ordinal);
+  } else {
+    complete_candidate(shard, key, anchor_ordinal);
+  }
+  bindings_[anchor_step] = nullptr;
+}
+
+void OooEngine::left_phase(Shard& shard, const Value& key, std::size_t ordinal,
+                           std::size_t anchor_ordinal, const OooInstance& successor) {
+  SortedStack& stack = shard.stacks[ordinal];
+  const std::size_t step = step_of_positive_[ordinal];
+  const Timestamp anchor_ts = bindings_[step_of_positive_[anchor_ordinal]]->ts;
+  // Predecessor range: everything with ts strictly below the successor's,
+  // loosely floored by the window anchored at the anchor (the eventual
+  // last binding is >= anchor_ts, so nothing below anchor_ts − W can be
+  // the first element of a valid match; the exact window check happens in
+  // the right phase against the actual first binding).
+  const std::size_t ub = options_.cache_rip
+                             ? successor.rip
+                             : stack.count_ts_below(successor.event.ts);
+  const std::size_t floor = stack.count_ts_below(anchor_ts - query_.window());
+  const std::size_t sched_pos = anchor_ordinal - ordinal;
+  for (std::size_t v = ub; v-- > floor;) {
+    const OooInstance& inst = stack[v];
+    ++stats_.construction_visits;
+    bindings_[step] = &inst.event;
+    bool ok = true;
+    for (const std::size_t pi : anchored_schedule_[anchor_ordinal][sched_pos]) {
+      ++stats_.predicate_evals;
+      if (!query_.predicates()[pi].eval(bindings_)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      if (ordinal > 0) {
+        left_phase(shard, key, ordinal - 1, anchor_ordinal, inst);
+      } else if (anchor_ordinal + 1 < step_of_positive_.size()) {
+        right_phase(shard, key, anchor_ordinal + 1, anchor_ordinal);
+      } else {
+        complete_candidate(shard, key, anchor_ordinal);
+      }
+    }
+  }
+  bindings_[step] = nullptr;
+}
+
+void OooEngine::right_phase(Shard& shard, const Value& key, std::size_t ordinal,
+                            std::size_t anchor_ordinal) {
+  SortedStack& stack = shard.stacks[ordinal];
+  const std::size_t step = step_of_positive_[ordinal];
+  const Timestamp prev_ts = bindings_[step_of_positive_[ordinal - 1]]->ts;
+  const Timestamp first_ts = bindings_[step_of_positive_[0]]->ts;
+  const Timestamp ceiling = first_ts + query_.window();
+  for (std::size_t v = stack.first_ts_above(prev_ts); v < stack.size(); ++v) {
+    const OooInstance& inst = stack[v];
+    if (inst.event.ts > ceiling) break;  // sorted: all further fail the window
+    ++stats_.construction_visits;
+    bindings_[step] = &inst.event;
+    bool ok = true;
+    for (const std::size_t pi : anchored_schedule_[anchor_ordinal][ordinal]) {
+      ++stats_.predicate_evals;
+      if (!query_.predicates()[pi].eval(bindings_)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      if (ordinal + 1 < step_of_positive_.size()) {
+        right_phase(shard, key, ordinal + 1, anchor_ordinal);
+      } else {
+        complete_candidate(shard, key, anchor_ordinal);
+      }
+    }
+  }
+  bindings_[step] = nullptr;
+}
+
+void OooEngine::complete_candidate(Shard& shard, const Value& key,
+                                   std::size_t /*anchor_ordinal*/) {
+  std::vector<NegCheck> checks;
+  checks.reserve(step_of_negated_.size());
+  Timestamp seal_ts = kMinTimestamp;
+  for (std::size_t i = 0; i < step_of_negated_.size(); ++i) {
+    const CompiledStep& s = query_.step(step_of_negated_[i]);
+    const Timestamp lo = bindings_[s.prev_positive]->ts;
+    const Timestamp hi = bindings_[s.next_positive]->ts;
+    checks.push_back(NegCheck{i, lo, hi});
+    seal_ts = std::max(seal_ts, hi);
+  }
+  if (!checks.empty() && violated_now(shard, checks, bindings_)) return;
+
+  Match m;
+  m.events.reserve(step_of_positive_.size());
+  for (const std::size_t p : step_of_positive_) m.events.push_back(*bindings_[p]);
+
+  if (checks.empty() || sealed(seal_ts)) {
+    m.detection_clock = clock_.now();
+    emit(std::move(m));
+    return;
+  }
+  if (options_.aggressive_negation) {
+    // Optimistic emission: report now, remember the match while it is
+    // still revocable so a late negative can retract it.
+    m.detection_clock = clock_.now();
+    unsealed_emitted_.push_back(PendingMatch{m, std::move(checks), seal_ts, key});
+    stats_.note_pending_added();
+    emit(std::move(m));
+    return;
+  }
+  pending_.push(PendingMatch{std::move(m), std::move(checks), seal_ts, key});
+  stats_.note_pending_added();
+}
+
+void OooEngine::handle_late_negative(const Value& key, const Event& e,
+                                     std::size_t step) {
+  const std::size_t ordinal = ordinal_of_step_[step];
+  for (std::size_t i = 0; i < unsealed_emitted_.size();) {
+    PendingMatch& pm = unsealed_emitted_[i];
+    bool retract = false;
+    if (!partitioned_ || pm.shard_key == key) {
+      for (const NegCheck& c : pm.checks) {
+        if (c.ordinal != ordinal || e.ts <= c.lo || e.ts >= c.hi) continue;
+        std::vector<const Event*> bindings(query_.num_steps(), nullptr);
+        for (std::size_t k = 0; k < step_of_positive_.size(); ++k)
+          bindings[step_of_positive_[k]] = &pm.match.events[k];
+        bindings[step] = &e;
+        retract = true;
+        for (const std::size_t pi : neg_check_predicates_[ordinal]) {
+          ++stats_.predicate_evals;
+          if (!query_.predicates()[pi].eval(bindings)) {
+            retract = false;
+            break;
+          }
+        }
+        if (retract) break;
+      }
+    }
+    if (retract) {
+      sink_.on_retract(unsealed_emitted_[i].match);
+      ++stats_.matches_retracted;
+      --stats_.pending_matches;
+      unsealed_emitted_[i] = std::move(unsealed_emitted_.back());
+      unsealed_emitted_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+bool OooEngine::violated_now(Shard& shard, const std::vector<NegCheck>& checks,
+                             std::span<const Event*> bindings) {
+  for (const NegCheck& c : checks) {
+    if (shard.negatives[c.ordinal].violates(c.lo, c.hi, bindings, stats_.predicate_evals))
+      return true;
+  }
+  return false;
+}
+
+void OooEngine::process_pending() {
+  while (!pending_.empty() && clock_.started() && sealed(pending_.top().seal_ts)) {
+    PendingMatch pm = pending_.top();
+    pending_.pop();
+    --stats_.pending_matches;
+    resolve_pending(std::move(pm));
+  }
+  if (!unsealed_emitted_.empty() && clock_.started()) {
+    // Sealed entries are final — no retraction can reach them anymore.
+    const auto removed = std::erase_if(unsealed_emitted_, [&](const PendingMatch& pm) {
+      return sealed(pm.seal_ts);
+    });
+    stats_.pending_matches -= removed;
+  }
+}
+
+void OooEngine::resolve_pending(PendingMatch&& pm) {
+  Shard* shard = find_shard(pm.shard_key);
+  if (shard != nullptr) {
+    // Rebuild the positive bindings for negation-predicate evaluation.
+    std::vector<const Event*> bindings(query_.num_steps(), nullptr);
+    for (std::size_t k = 0; k < step_of_positive_.size(); ++k)
+      bindings[step_of_positive_[k]] = &pm.match.events[k];
+    if (violated_now(*shard, pm.checks, bindings)) {
+      ++stats_.matches_cancelled;
+      return;
+    }
+  }
+  pm.match.detection_clock = clock_.now();
+  emit(std::move(pm.match));
+}
+
+void OooEngine::finish() {
+  // End of stream: every interval is final.
+  while (!pending_.empty()) {
+    PendingMatch pm = pending_.top();
+    pending_.pop();
+    --stats_.pending_matches;
+    resolve_pending(std::move(pm));
+  }
+  // Aggressive policy: unsealed emissions become final — already
+  // delivered, nothing left to do beyond dropping the revocation state.
+  stats_.pending_matches -= unsealed_emitted_.size();
+  unsealed_emitted_.clear();
+  maybe_purge(true);
+}
+
+void OooEngine::maybe_purge(bool force) {
+  if (!force) {
+    if (options_.purge_period == 0) return;
+    if (++events_since_purge_ < options_.purge_period) return;
+    events_since_purge_ = 0;
+  }
+  if (!clock_.started()) return;
+  // See DESIGN.md §3.3: any future event has ts >= clock − K, and all
+  // match elements fit in a window of width W, so positive state below
+  // clock − K − W is dead. Negatives are consulted until the intervals
+  // that could contain them seal, which happens by clock ≈ ts + W + K;
+  // the extra −1 absorbs the strictness of interval bounds.
+  const Timestamp pos_threshold = clock_.now() - options_.slack - query_.window();
+  const Timestamp neg_threshold = pos_threshold - 1;
+  ++stats_.purge_passes;
+  if (partitioned_) {
+    for (auto it = shards_.begin(); it != shards_.end();) {
+      purge_shard(it->second, pos_threshold, neg_threshold);
+      const bool empty =
+          std::all_of(it->second.stacks.begin(), it->second.stacks.end(),
+                      [](const SortedStack& s) { return s.empty(); }) &&
+          std::all_of(it->second.negatives.begin(), it->second.negatives.end(),
+                      [](const NegativeBuffer& b) { return b.size() == 0; });
+      it = empty ? shards_.erase(it) : std::next(it);
+    }
+  } else {
+    purge_shard(root_, pos_threshold, neg_threshold);
+  }
+}
+
+void OooEngine::purge_shard(Shard& shard, Timestamp pos_threshold,
+                            Timestamp neg_threshold) {
+  std::size_t removed_prev = 0;
+  for (std::size_t k = 0; k < shard.stacks.size(); ++k) {
+    const std::size_t removed = shard.stacks[k].purge_before(pos_threshold);
+    if (removed) stats_.note_instances_removed(removed);
+    // Fix survivors' RIPs after the previous stack shrank. Doing this
+    // after this stack's own purge matters: a purged instance here may
+    // have had ts below some purged predecessors and thus a smaller rip.
+    if (options_.cache_rip && k > 0) shard.stacks[k].drop_rips(removed_prev);
+    removed_prev = removed;
+  }
+  for (NegativeBuffer& nb : shard.negatives) {
+    const std::size_t removed = nb.purge_before(neg_threshold);
+    if (removed) stats_.note_unbuffered(removed);
+  }
+}
+
+}  // namespace oosp

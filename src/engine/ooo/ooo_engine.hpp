@@ -1,0 +1,135 @@
+// Native out-of-order engine — the paper's contribution.
+//
+// Processes the arrival stream directly, with no reorder buffer:
+//
+//  * Scan: each relevant event splices into the timestamp-ordered stack
+//    of every step it satisfies (sorted_stack.hpp). Late events land in
+//    the middle; in-order events append in O(1).
+//
+//  * Retroactive construction: a newly inserted event e at step i can
+//    only create matches that CONTAIN e, so construction is anchored at
+//    e — enumerate leftward (steps i−1…0, timestamps descending below
+//    e.ts) then rightward (steps i+1…n−1, ascending, bounded by the
+//    window anchored at the step-0 binding). Every new match is emitted
+//    exactly once: at the insertion of its last-arriving constituent.
+//    When the stream happens to be in order this degenerates to exactly
+//    the classic trigger-driven leftward construction, so ordered input
+//    pays (almost) nothing for out-of-order support.
+//
+//  * Negation sealing: a candidate match with negated steps is checked
+//    against the negatives buffered so far and, if any of its negation
+//    intervals could still admit a late negative (interval end not yet
+//    K-sealed by the clock), parked in a pending heap and resolved at
+//    the first clock advance that seals it. Pure-positive matches are
+//    emitted immediately.
+//
+//  * K-slack purge: state with ts < clock − W − K can never join a new
+//    match (any future event has ts ≥ clock − K, and a shared window of
+//    width W cannot span both); purging runs every purge_period events.
+//
+// Options honoured: slack (K), purge_period, partition_by_key (hash
+// partition all state by the query's equi-join key), cache_rip
+// (incrementally maintained RIPs instead of per-construction binary
+// search).
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/core/engine.hpp"
+#include "engine/core/negative_buffer.hpp"
+#include "engine/ooo/sorted_stack.hpp"
+#include "stream/clock.hpp"
+
+namespace oosp {
+
+class OooEngine final : public PatternEngine {
+ public:
+  OooEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options = {});
+
+  void on_event(const Event& e) override;
+  void finish() override;
+  std::string name() const override {
+    return options_.aggressive_negation ? "ooo-aggressive" : "ooo-native";
+  }
+
+ private:
+  struct Shard {
+    std::vector<SortedStack> stacks;        // per positive ordinal
+    std::vector<NegativeBuffer> negatives;  // per negated ordinal
+  };
+
+  struct NegCheck {
+    std::size_t ordinal;  // negated ordinal
+    Timestamp lo, hi;     // open interval (lo, hi)
+  };
+
+  struct PendingMatch {
+    Match match;
+    std::vector<NegCheck> checks;
+    Timestamp seal_ts;  // max interval end; final once clock >= seal_ts + K
+    Value shard_key;    // meaningful only when partitioned
+  };
+  struct PendingLater {
+    bool operator()(const PendingMatch& a, const PendingMatch& b) const noexcept {
+      return a.seal_ts > b.seal_ts;
+    }
+  };
+
+  Shard make_shard() const;
+  Shard& shard_for(const Value& key);
+  Shard* find_shard(const Value& key);
+
+  bool passes_local(std::size_t step, const Event& e);
+  void insert_positive(Shard& shard, const Value& key, const Event& e, std::size_t step);
+  void construct_anchored(Shard& shard, const Value& key, std::size_t anchor_ordinal,
+                          std::size_t anchor_index);
+  void left_phase(Shard& shard, const Value& key, std::size_t ordinal,
+                  std::size_t anchor_ordinal, const OooInstance& successor);
+  void right_phase(Shard& shard, const Value& key, std::size_t ordinal,
+                   std::size_t anchor_ordinal);
+  void complete_candidate(Shard& shard, const Value& key, std::size_t anchor_ordinal);
+  bool violated_now(Shard& shard, const std::vector<NegCheck>& checks,
+                    std::span<const Event*> bindings);
+  void process_pending();
+  void resolve_pending(PendingMatch&& pm);
+  // Aggressive policy: a late negative may invalidate an already-emitted,
+  // not-yet-sealed match — find the victims and issue retractions.
+  void handle_late_negative(const Value& key, const Event& e, std::size_t step);
+  void maybe_purge(bool force);
+  void purge_shard(Shard& shard, Timestamp pos_threshold, Timestamp neg_threshold);
+
+  bool sealed(Timestamp interval_end) const noexcept {
+    // No future event can fall strictly inside an interval ending at
+    // `interval_end` once every timestamp <= interval_end − 1 is sealed.
+    return clock_.seal_point() >= interval_end - 1;
+  }
+
+  StreamClock clock_;
+  bool partitioned_ = false;
+  std::vector<std::size_t> ordinal_of_step_;
+  std::vector<std::size_t> step_of_positive_;
+  std::vector<std::size_t> step_of_negated_;
+  // anchored_schedule_[a][pos]: predicate ids ready at position pos of
+  // the binding order (a, a−1, …, 0, a+1, …, n−1) — ordinals.
+  std::vector<std::vector<std::vector<std::size_t>>> anchored_schedule_;
+  std::vector<const Event*> bindings_;  // by pattern step index
+  std::vector<const Event*> single_;
+  std::size_t events_since_purge_ = 0;
+
+  // Non-local predicates referencing each negated ordinal — evaluated
+  // directly when the aggressive policy probes a late negative against an
+  // emitted-but-unsealed match.
+  std::vector<std::vector<std::size_t>> neg_check_predicates_;
+
+  Shard root_;
+  std::unordered_map<Value, Shard, ValueHasher> shards_;
+  std::priority_queue<PendingMatch, std::vector<PendingMatch>, PendingLater> pending_;
+  // Aggressive policy: emitted matches whose negation intervals have not
+  // sealed yet — still revocable. Swept alongside process_pending().
+  std::vector<PendingMatch> unsealed_emitted_;
+};
+
+}  // namespace oosp

@@ -1,0 +1,54 @@
+#include "engine/ooo/sorted_stack.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+std::size_t SortedStack::insert(const Event& e) {
+  if (items_.empty() || TsIdLess{}(items_.back().event, e)) {
+    items_.push_back(OooInstance{e, 0});
+    return items_.size() - 1;
+  }
+  const auto it = std::lower_bound(
+      items_.begin(), items_.end(), e,
+      [](const OooInstance& a, const Event& b) { return TsIdLess{}(a.event, b); });
+  const auto idx = static_cast<std::size_t>(it - items_.begin());
+  items_.insert(it, OooInstance{e, 0});
+  return idx;
+}
+
+std::size_t SortedStack::count_ts_below(Timestamp t) const noexcept {
+  const auto it = std::lower_bound(
+      items_.begin(), items_.end(), t,
+      [](const OooInstance& a, Timestamp ts) { return a.event.ts < ts; });
+  return static_cast<std::size_t>(it - items_.begin());
+}
+
+std::size_t SortedStack::first_ts_above(Timestamp t) const noexcept {
+  const auto it = std::upper_bound(
+      items_.begin(), items_.end(), t,
+      [](Timestamp ts, const OooInstance& a) { return ts < a.event.ts; });
+  return static_cast<std::size_t>(it - items_.begin());
+}
+
+std::size_t SortedStack::purge_before(Timestamp threshold) {
+  const std::size_t n = count_ts_below(threshold);
+  items_.erase(items_.begin(), items_.begin() + static_cast<std::ptrdiff_t>(n));
+  return n;
+}
+
+void SortedStack::bump_rips_from(std::size_t from, std::size_t delta) noexcept {
+  for (std::size_t i = from; i < items_.size(); ++i) items_[i].rip += delta;
+}
+
+void SortedStack::drop_rips(std::size_t removed) noexcept {
+  if (removed == 0) return;
+  for (OooInstance& inst : items_) {
+    OOSP_ASSERT(inst.rip >= removed);
+    inst.rip -= removed;
+  }
+}
+
+}  // namespace oosp

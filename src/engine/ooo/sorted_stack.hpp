@@ -1,0 +1,61 @@
+// Timestamp-ordered Active Instance Stack.
+//
+// The paper's key data-structure change: instead of stacking instances in
+// arrival order (which equals timestamp order only for in-order streams),
+// the stack keeps instances sorted by (ts, id) and supports insertion at
+// any position, so a late event splices in exactly where its timestamp
+// puts it. The predecessor set of an instance with timestamp t in the
+// previous step's stack is then the prefix with ts < t — recovered either
+// by binary search (default) or from a cached rightmost-instance pointer
+// (RIP) that out-of-order insertions and purges maintain incrementally
+// (EngineOptions::cache_rip, ablation R-A3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "event/event.hpp"
+
+namespace oosp {
+
+struct OooInstance {
+  Event event;
+  // Cached RIP: number of instances in the PREVIOUS step's stack with
+  // ts strictly below this instance's ts. Maintained only when the
+  // engine runs in cache_rip mode; 0 otherwise.
+  std::size_t rip = 0;
+};
+
+class SortedStack {
+ public:
+  // Inserts keeping (ts, id) order; returns the insertion index.
+  // Appending (the in-order fast path) is O(1) amortized.
+  std::size_t insert(const Event& e);
+
+  // Number of instances with ts strictly below t == index of the first
+  // instance with ts >= t.
+  std::size_t count_ts_below(Timestamp t) const noexcept;
+
+  // Index of the first instance with ts strictly above t.
+  std::size_t first_ts_above(Timestamp t) const noexcept;
+
+  // Removes the prefix with ts < threshold; returns how many.
+  std::size_t purge_before(Timestamp threshold);
+
+  // Adds delta to the rip of every instance in [from, size()).
+  void bump_rips_from(std::size_t from, std::size_t delta) noexcept;
+
+  // Subtracts `removed` from every rip (after the previous stack purged
+  // `removed` instances). Every live rip must be >= removed.
+  void drop_rips(std::size_t removed) noexcept;
+
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+  const OooInstance& operator[](std::size_t i) const noexcept { return items_[i]; }
+  OooInstance& operator[](std::size_t i) noexcept { return items_[i]; }
+
+ private:
+  std::vector<OooInstance> items_;
+};
+
+}  // namespace oosp

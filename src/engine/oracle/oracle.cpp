@@ -1,0 +1,134 @@
+#include "engine/oracle/oracle.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "engine/core/schedule.hpp"
+
+namespace oosp {
+namespace {
+
+class Oracle {
+ public:
+  Oracle(const CompiledQuery& q, std::span<const Event> events) : q_(q) {
+    sorted_.assign(events.begin(), events.end());
+    std::sort(sorted_.begin(), sorted_.end(), TsIdLess{});
+    candidates_.resize(q.num_steps());
+    single_.assign(q.num_steps(), nullptr);
+    for (const Event& e : sorted_) {
+      for (const std::size_t step : q.steps_for_type(e.type)) {
+        if (passes_local(step, e)) candidates_[step].push_back(&e);
+      }
+    }
+    schedule_ = build_predicate_schedule(q, q.positive_steps());
+    bindings_.assign(q.num_steps(), nullptr);
+  }
+
+  std::vector<Match> run() {
+    descend(0);
+    return std::move(out_);
+  }
+
+ private:
+  // Local predicates reference one step only; bind just that slot.
+  bool passes_local(std::size_t step, const Event& e) {
+    single_[step] = &e;
+    bool ok = true;
+    for (const std::size_t pi : q_.step(step).local_predicates) {
+      if (!q_.predicates()[pi].eval(single_)) {
+        ok = false;
+        break;
+      }
+    }
+    single_[step] = nullptr;
+    return ok;
+  }
+
+  void descend(std::size_t k) {
+    const auto& pos = q_.positive_steps();
+    if (k == pos.size()) {
+      finish_candidate();
+      return;
+    }
+    const std::size_t step = pos[k];
+    const auto& cands = candidates_[step];
+    const Timestamp prev_ts = k == 0 ? kMinTimestamp : bindings_[pos[k - 1]]->ts;
+    const Timestamp first_ts = k == 0 ? kMinTimestamp : bindings_[pos[0]]->ts;
+    // First candidate with ts strictly greater than the previous binding.
+    auto it = std::lower_bound(cands.begin(), cands.end(), prev_ts,
+                               [](const Event* e, Timestamp t) { return e->ts <= t; });
+    for (; it != cands.end(); ++it) {
+      const Event* e = *it;
+      if (k > 0 && e->ts - first_ts > q_.window()) break;  // sorted: all later fail too
+      bindings_[step] = e;
+      bool ok = true;
+      for (const std::size_t pi : schedule_[k]) {
+        if (!q_.predicates()[pi].eval(bindings_)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) descend(k + 1);
+    }
+    bindings_[step] = nullptr;
+  }
+
+  void finish_candidate() {
+    // Negation checks against the full event collection.
+    for (std::size_t step = 0; step < q_.num_steps(); ++step) {
+      const CompiledStep& s = q_.step(step);
+      if (!s.negated) continue;
+      const Timestamp lo = bindings_[s.prev_positive]->ts;
+      const Timestamp hi = bindings_[s.next_positive]->ts;
+      if (has_violator(step, lo, hi)) return;
+    }
+    Match m;
+    for (const std::size_t p : q_.positive_steps()) m.events.push_back(*bindings_[p]);
+    out_.push_back(std::move(m));
+  }
+
+  bool has_violator(std::size_t step, Timestamp lo, Timestamp hi) {
+    const auto& cands = candidates_[step];
+    auto it = std::lower_bound(cands.begin(), cands.end(), lo,
+                               [](const Event* e, Timestamp t) { return e->ts <= t; });
+    for (; it != cands.end() && (*it)->ts < hi; ++it) {
+      bindings_[step] = *it;
+      bool all = true;
+      for (std::size_t pi = 0; pi < q_.predicates().size(); ++pi) {
+        const CompiledPredicate& p = q_.predicates()[pi];
+        if (!p.references(step) || p.steps().size() == 1) continue;  // locals prefiltered
+        if (!p.eval(bindings_)) {
+          all = false;
+          break;
+        }
+      }
+      bindings_[step] = nullptr;
+      if (all) return true;
+    }
+    bindings_[step] = nullptr;
+    return false;
+  }
+
+  const CompiledQuery& q_;
+  std::vector<Event> sorted_;
+  std::vector<std::vector<const Event*>> candidates_;
+  std::vector<std::vector<std::size_t>> schedule_;
+  std::vector<const Event*> bindings_;
+  std::vector<const Event*> single_;
+  std::vector<Match> out_;
+};
+
+}  // namespace
+
+std::vector<Match> oracle_matches(const CompiledQuery& query, std::span<const Event> events) {
+  return Oracle(query, events).run();
+}
+
+std::vector<MatchKey> oracle_keys(const CompiledQuery& query, std::span<const Event> events) {
+  std::vector<MatchKey> keys;
+  for (const Match& m : oracle_matches(query, events)) keys.push_back(match_key(m));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace oosp

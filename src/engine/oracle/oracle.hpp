@@ -1,0 +1,24 @@
+// Brute-force reference matcher.
+//
+// Computes the exact result set of a query over a finite event collection
+// (any arrival order — the oracle sees the whole stream at once, so order
+// is irrelevant). Exponential in the worst case but aggressively pruned;
+// used by tests and the verification harness as ground truth, and by the
+// correctness experiment (R-T2) to score recall/precision of engines that
+// mishandle out-of-order input.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "engine/core/match.hpp"
+#include "query/compiled.hpp"
+
+namespace oosp {
+
+std::vector<Match> oracle_matches(const CompiledQuery& query, std::span<const Event> events);
+
+// Sorted identity keys of the oracle result (convenience for comparisons).
+std::vector<MatchKey> oracle_keys(const CompiledQuery& query, std::span<const Event> events);
+
+}  // namespace oosp

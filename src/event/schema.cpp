@@ -1,0 +1,50 @@
+#include "event/schema.hpp"
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    OOSP_REQUIRE(!fields_[i].name.empty(), "schema field needs a name");
+    for (std::size_t j = i + 1; j < fields_.size(); ++j)
+      OOSP_REQUIRE(fields_[i].name != fields_[j].name, "duplicate schema field: " + fields_[i].name);
+  }
+}
+
+std::size_t Schema::slot(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < fields_.size(); ++i)
+    if (fields_[i].name == name) return i;
+  return npos;
+}
+
+const Field& Schema::field(std::size_t slot) const {
+  OOSP_REQUIRE(slot < fields_.size(), "schema slot out of range");
+  return fields_[slot];
+}
+
+TypeId TypeRegistry::register_type(std::string_view name, Schema schema) {
+  OOSP_REQUIRE(!name.empty(), "type name must be non-empty");
+  if (const TypeId existing = names_.lookup(name); existing != kInvalidType) {
+    const Schema& have = schemas_[existing];
+    OOSP_REQUIRE(have.field_count() == schema.field_count(),
+                 "re-registering type with different schema: " + std::string(name));
+    for (std::size_t i = 0; i < schema.field_count(); ++i) {
+      OOSP_REQUIRE(have.field(i).name == schema.field(i).name &&
+                       have.field(i).type == schema.field(i).type,
+                   "re-registering type with different schema: " + std::string(name));
+    }
+    return existing;
+  }
+  const TypeId id = names_.intern(name);
+  OOSP_ASSERT(id == schemas_.size());
+  schemas_.push_back(std::move(schema));
+  return id;
+}
+
+const Schema& TypeRegistry::schema(TypeId id) const {
+  OOSP_REQUIRE(id < schemas_.size(), "unknown type id");
+  return schemas_[id];
+}
+
+}  // namespace oosp

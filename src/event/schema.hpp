@@ -1,0 +1,69 @@
+// Event type schemas and the registry mapping type names to dense ids.
+//
+// Every event type declares a fixed, ordered set of typed attributes. The
+// query analyzer resolves `binding.attr` references to (TypeId, slot)
+// pairs against this registry, so the execution engines only ever index
+// attribute vectors by position.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/interner.hpp"
+#include "event/value.hpp"
+
+namespace oosp {
+
+using TypeId = Interner::Id;
+constexpr TypeId kInvalidType = Interner::kInvalid;
+
+struct Field {
+  std::string name;
+  ValueType type;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  // Slot index for `name`, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t slot(std::string_view name) const noexcept;
+
+  const Field& field(std::size_t slot) const;
+  std::size_t field_count() const noexcept { return fields_.size(); }
+  const std::vector<Field>& fields() const noexcept { return fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+// Registry of event types known to one processing context. Not
+// thread-safe; a registry belongs to a single pipeline.
+class TypeRegistry {
+ public:
+  // Registers (or re-finds) a type. Re-registering with a different
+  // schema is a precondition violation.
+  TypeId register_type(std::string_view name, Schema schema);
+
+  // Registers a type with an empty schema.
+  TypeId register_type(std::string_view name) { return register_type(name, Schema{}); }
+
+  TypeId lookup(std::string_view name) const noexcept { return names_.lookup(name); }
+  bool contains(std::string_view name) const noexcept {
+    return lookup(name) != kInvalidType;
+  }
+
+  const std::string& name(TypeId id) const { return names_.name(id); }
+  const Schema& schema(TypeId id) const;
+  std::size_t size() const noexcept { return schemas_.size(); }
+
+ private:
+  Interner names_;
+  std::vector<Schema> schemas_;
+};
+
+}  // namespace oosp

@@ -1,0 +1,118 @@
+#include "event/value.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <ostream>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+std::string_view to_string(ValueType t) noexcept {
+  switch (t) {
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kBool: return "bool";
+    case ValueType::kString: return "string";
+  }
+  return "?";
+}
+
+ValueType Value::type() const noexcept {
+  return static_cast<ValueType>(v_.index());
+}
+
+std::int64_t Value::as_int() const {
+  OOSP_REQUIRE(type() == ValueType::kInt, "value is not int");
+  return std::get<std::int64_t>(v_);
+}
+
+double Value::as_double() const {
+  OOSP_REQUIRE(type() == ValueType::kDouble, "value is not double");
+  return std::get<double>(v_);
+}
+
+bool Value::as_bool() const {
+  OOSP_REQUIRE(type() == ValueType::kBool, "value is not bool");
+  return std::get<bool>(v_);
+}
+
+const std::string& Value::as_string() const {
+  OOSP_REQUIRE(type() == ValueType::kString, "value is not string");
+  return std::get<std::string>(v_);
+}
+
+double Value::numeric() const {
+  if (type() == ValueType::kInt) return static_cast<double>(std::get<std::int64_t>(v_));
+  OOSP_REQUIRE(type() == ValueType::kDouble, "value is not numeric");
+  return std::get<double>(v_);
+}
+
+bool Value::comparable_with(const Value& other) const noexcept {
+  if (is_numeric() && other.is_numeric()) return true;
+  return type() == other.type();
+}
+
+int Value::compare(const Value& other) const {
+  OOSP_REQUIRE(comparable_with(other), "incomparable value types");
+  if (is_numeric() && other.is_numeric()) {
+    // Exact integer compare when both are ints (avoids double rounding
+    // for magnitudes above 2^53).
+    if (type() == ValueType::kInt && other.type() == ValueType::kInt) {
+      const auto a = std::get<std::int64_t>(v_), b = std::get<std::int64_t>(other.v_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = numeric(), b = other.numeric();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  switch (type()) {
+    case ValueType::kBool: {
+      const bool a = std::get<bool>(v_), b = std::get<bool>(other.v_);
+      return a == b ? 0 : (a ? 1 : -1);
+    }
+    case ValueType::kString: {
+      const auto& a = std::get<std::string>(v_);
+      const auto& b = std::get<std::string>(other.v_);
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default: OOSP_CHECK(false, "unreachable value compare"); return 0;
+  }
+}
+
+bool Value::operator==(const Value& other) const noexcept {
+  if (!comparable_with(other)) return false;
+  return compare(other) == 0;
+}
+
+std::size_t Value::hash() const noexcept {
+  const std::size_t tag = v_.index() * 0x9e3779b97f4a7c15ull;
+  switch (type()) {
+    case ValueType::kInt:
+      return tag ^ std::hash<std::int64_t>{}(std::get<std::int64_t>(v_));
+    case ValueType::kDouble:
+      return tag ^ std::hash<double>{}(std::get<double>(v_));
+    case ValueType::kBool:
+      return tag ^ std::hash<bool>{}(std::get<bool>(v_));
+    case ValueType::kString:
+      return tag ^ std::hash<std::string>{}(std::get<std::string>(v_));
+  }
+  return tag;
+}
+
+std::string Value::to_display() const {
+  switch (type()) {
+    case ValueType::kInt: return std::to_string(std::get<std::int64_t>(v_));
+    case ValueType::kDouble: {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%g", std::get<double>(v_));
+      return buf;
+    }
+    case ValueType::kBool: return std::get<bool>(v_) ? "true" : "false";
+    case ValueType::kString: return '"' + std::get<std::string>(v_) + '"';
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) { return os << v.to_display(); }
+
+}  // namespace oosp

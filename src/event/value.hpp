@@ -1,0 +1,72 @@
+// Typed attribute values carried by events.
+//
+// A Value is a small closed variant (int64 | double | bool | string). The
+// query layer compares values with SQL-ish semantics: int/double compare
+// numerically across types; all other cross-type comparisons are a query
+// analysis error caught before execution.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace oosp {
+
+enum class ValueType : std::uint8_t { kInt, kDouble, kBool, kString };
+
+std::string_view to_string(ValueType t) noexcept;
+
+class Value {
+ public:
+  Value() noexcept : v_(std::int64_t{0}) {}
+  Value(std::int64_t v) noexcept : v_(v) {}        // NOLINT(google-explicit-constructor)
+  Value(int v) noexcept : v_(std::int64_t{v}) {}   // NOLINT(google-explicit-constructor)
+  Value(double v) noexcept : v_(v) {}              // NOLINT(google-explicit-constructor)
+  Value(bool v) noexcept : v_(v) {}                // NOLINT(google-explicit-constructor)
+  Value(std::string v) noexcept : v_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* v) : v_(std::string(v)) {}     // NOLINT(google-explicit-constructor)
+
+  ValueType type() const noexcept;
+
+  bool is_numeric() const noexcept {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  // Typed accessors; each requires the matching type.
+  std::int64_t as_int() const;
+  double as_double() const;
+  bool as_bool() const;
+  const std::string& as_string() const;
+
+  // Numeric view: int or double widened to double. Requires is_numeric().
+  double numeric() const;
+
+  // Three-way comparison usable by predicates. Requires comparable types
+  // (numeric with numeric, otherwise exactly equal types).
+  int compare(const Value& other) const;
+
+  // True when compare() is defined for this pair of types.
+  bool comparable_with(const Value& other) const noexcept;
+
+  bool operator==(const Value& other) const noexcept;
+
+  // Hash consistent with operator== only across values of identical type
+  // (the partition optimizer guarantees identical static types before
+  // hashing; see CompiledQuery::partitionable()).
+  std::size_t hash() const noexcept;
+
+  std::string to_display() const;
+
+ private:
+  std::variant<std::int64_t, double, bool, std::string> v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+struct ValueHasher {
+  std::size_t operator()(const Value& v) const noexcept { return v.hash(); }
+};
+
+}  // namespace oosp

@@ -1,0 +1,109 @@
+#include "query/ast.hpp"
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+std::string_view to_string(CmpOp op) noexcept {
+  switch (op) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+BoolExpr BoolExpr::make_cmp(Comparison c) {
+  BoolExpr e;
+  e.kind = Kind::kCmp;
+  e.cmp = std::move(c);
+  return e;
+}
+
+BoolExpr BoolExpr::make_and(std::vector<BoolExpr> kids) {
+  OOSP_REQUIRE(kids.size() >= 2, "AND needs two operands");
+  BoolExpr e;
+  e.kind = Kind::kAnd;
+  e.children = std::move(kids);
+  return e;
+}
+
+BoolExpr BoolExpr::make_or(std::vector<BoolExpr> kids) {
+  OOSP_REQUIRE(kids.size() >= 2, "OR needs two operands");
+  BoolExpr e;
+  e.kind = Kind::kOr;
+  e.children = std::move(kids);
+  return e;
+}
+
+BoolExpr BoolExpr::make_not(BoolExpr kid) {
+  BoolExpr e;
+  e.kind = Kind::kNot;
+  e.children.push_back(std::move(kid));
+  return e;
+}
+
+namespace {
+
+void render_operand(std::ostream& os, const Operand& op) {
+  if (const auto* ref = std::get_if<AttrRef>(&op)) {
+    os << ref->binding << '.' << ref->attr;
+  } else {
+    os << std::get<Value>(op);
+  }
+}
+
+void render_expr(std::ostream& os, const BoolExpr& e, bool parenthesize) {
+  switch (e.kind) {
+    case BoolExpr::Kind::kCmp: {
+      render_operand(os, e.cmp->lhs);
+      os << ' ' << to_string(e.cmp->op) << ' ';
+      render_operand(os, e.cmp->rhs);
+      return;
+    }
+    case BoolExpr::Kind::kNot:
+      os << "NOT ";
+      render_expr(os, e.children[0], true);
+      return;
+    case BoolExpr::Kind::kAnd:
+    case BoolExpr::Kind::kOr: {
+      const char* joiner = e.kind == BoolExpr::Kind::kAnd ? " AND " : " OR ";
+      if (parenthesize) os << '(';
+      for (std::size_t i = 0; i < e.children.size(); ++i) {
+        if (i) os << joiner;
+        render_expr(os, e.children[i], true);
+      }
+      if (parenthesize) os << ')';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_text(const BoolExpr& e) {
+  std::ostringstream os;
+  render_expr(os, e, false);
+  return os.str();
+}
+
+std::string to_text(const ParsedQuery& q) {
+  std::ostringstream os;
+  os << "PATTERN SEQ(";
+  for (std::size_t i = 0; i < q.steps.size(); ++i) {
+    if (i) os << ", ";
+    if (q.steps[i].negated) os << '!';
+    os << q.steps[i].type_name << ' ' << q.steps[i].binding;
+  }
+  os << ')';
+  if (q.where) os << " WHERE " << to_text(*q.where);
+  os << " WITHIN " << q.window;
+  return os.str();
+}
+
+}  // namespace oosp

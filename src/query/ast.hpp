@@ -1,0 +1,84 @@
+// Parse-tree representation of pattern queries.
+//
+// Textual form (keywords are case-insensitive):
+//
+//   PATTERN SEQ(Shelf s, !Checkout c, Exit x)
+//   WHERE s.item == x.item AND c.item == s.item AND s.aisle > 3
+//   WITHIN 600
+//
+// A query declares an ordered list of steps, each binding one event of a
+// named type; `!` marks a negated step (the *absence* of such an event
+// strictly between its adjacent positive steps). The WHERE clause is an
+// arbitrary boolean expression over `binding.attr` references and
+// literals. WITHIN gives the window: every positive match element must
+// have a timestamp within `window` ticks of the first element's.
+//
+// This header is the *unresolved* form produced by the parser; the
+// analyzer (analyzer.hpp) resolves names against a TypeRegistry and emits
+// the executable CompiledQuery.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "event/event.hpp"
+#include "event/value.hpp"
+
+namespace oosp {
+
+enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view to_string(CmpOp op) noexcept;
+
+// `binding.attr` reference, unresolved.
+struct AttrRef {
+  std::string binding;
+  std::string attr;
+  bool operator==(const AttrRef&) const = default;
+};
+
+using Operand = std::variant<AttrRef, Value>;
+
+struct BoolExpr;
+
+struct Comparison {
+  Operand lhs;
+  CmpOp op = CmpOp::kEq;
+  Operand rhs;
+};
+
+// Boolean expression tree. Comparison leaves; AND/OR have >= 2 children;
+// NOT has exactly one.
+struct BoolExpr {
+  enum class Kind : std::uint8_t { kCmp, kAnd, kOr, kNot };
+  Kind kind = Kind::kCmp;
+  std::optional<Comparison> cmp;        // set when kind == kCmp
+  std::vector<BoolExpr> children;       // set otherwise
+
+  static BoolExpr make_cmp(Comparison c);
+  static BoolExpr make_and(std::vector<BoolExpr> kids);
+  static BoolExpr make_or(std::vector<BoolExpr> kids);
+  static BoolExpr make_not(BoolExpr kid);
+};
+
+struct StepDecl {
+  std::string type_name;
+  std::string binding;
+  bool negated = false;
+};
+
+struct ParsedQuery {
+  std::vector<StepDecl> steps;
+  std::optional<BoolExpr> where;
+  Timestamp window = 0;
+};
+
+// Renders the query back to (canonical) text — used in error messages,
+// logs, and round-trip tests.
+std::string to_text(const ParsedQuery& q);
+std::string to_text(const BoolExpr& e);
+
+}  // namespace oosp

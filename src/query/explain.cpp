@@ -1,0 +1,60 @@
+#include "query/explain.hpp"
+
+#include <sstream>
+
+namespace oosp {
+
+std::string explain(const CompiledQuery& query, const TypeRegistry& registry) {
+  std::ostringstream os;
+  os << "query:   " << query.text() << "\n";
+  os << "window:  " << query.window() << " ticks (last − first <= window)\n";
+  os << "steps:\n";
+  for (std::size_t i = 0; i < query.num_steps(); ++i) {
+    const CompiledStep& s = query.step(i);
+    os << "  [" << i << "] " << registry.name(s.type) << ' ' << s.binding;
+    if (s.negated) {
+      os << "  NEGATED: no match in (" << query.step(s.prev_positive).binding << ".ts, "
+         << query.step(s.next_positive).binding << ".ts)";
+    } else if (i == query.trigger_step()) {
+      os << "  (trigger: last positive step)";
+    }
+    if (!s.local_predicates.empty()) {
+      os << "\n      scan-time filters:";
+      for (const std::size_t pi : s.local_predicates)
+        os << " [" << query.predicates()[pi].text() << "]";
+    }
+    os << "\n";
+  }
+  bool any_cross = false;
+  for (const CompiledPredicate& p : query.predicates())
+    any_cross |= p.steps().size() > 1;
+  if (any_cross) {
+    os << "cross-step predicates (evaluated during construction):\n";
+    for (const CompiledPredicate& p : query.predicates()) {
+      if (p.steps().size() < 2) continue;
+      os << "  [" << p.text() << "] over steps {";
+      for (std::size_t k = 0; k < p.steps().size(); ++k)
+        os << (k ? "," : "") << p.steps()[k];
+      os << "}" << (p.positive_only() ? "" : "  (negation check)") << "\n";
+    }
+  }
+  if (query.partitionable()) {
+    os << "partitioning: ENABLED — equality class covers every positive step\n";
+    for (std::size_t i = 0; i < query.num_steps(); ++i) {
+      const std::size_t slot = query.partition_slots()[i];
+      os << "  step " << i << " keyed on ";
+      if (slot == CompiledStep::npos) {
+        os << "(none — negated step outside the class)";
+      } else {
+        os << registry.schema(query.step(i).type).field(slot).name;
+      }
+      os << "\n";
+    }
+  } else {
+    os << "partitioning: none (no positive-step equality class covers the "
+          "whole pattern)\n";
+  }
+  return os.str();
+}
+
+}  // namespace oosp

@@ -1,0 +1,16 @@
+// Human-readable explanation of a compiled query: resolved steps, local
+// vs cross-step predicates, negation intervals and the detected
+// partition key. What `EXPLAIN` is to a SQL engine — used by the CLI and
+// by anyone debugging why a query matches (or partitions) the way it
+// does.
+#pragma once
+
+#include <string>
+
+#include "query/compiled.hpp"
+
+namespace oosp {
+
+std::string explain(const CompiledQuery& query, const TypeRegistry& registry);
+
+}  // namespace oosp

@@ -1,0 +1,170 @@
+#include "query/lexer.hpp"
+
+#include <cctype>
+
+#include "query/parser.hpp"
+
+namespace oosp {
+
+std::string_view to_string(TokKind k) noexcept {
+  switch (k) {
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kInt: return "integer";
+    case TokKind::kFloat: return "float";
+    case TokKind::kString: return "string";
+    case TokKind::kPattern: return "PATTERN";
+    case TokKind::kSeq: return "SEQ";
+    case TokKind::kWhere: return "WHERE";
+    case TokKind::kWithin: return "WITHIN";
+    case TokKind::kAnd: return "AND";
+    case TokKind::kOr: return "OR";
+    case TokKind::kNot: return "NOT";
+    case TokKind::kTrue: return "TRUE";
+    case TokKind::kFalse: return "FALSE";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kComma: return "','";
+    case TokKind::kDot: return "'.'";
+    case TokKind::kBang: return "'!'";
+    case TokKind::kEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+TokKind keyword_kind(std::string_view upper) {
+  if (upper == "PATTERN") return TokKind::kPattern;
+  if (upper == "SEQ") return TokKind::kSeq;
+  if (upper == "WHERE") return TokKind::kWhere;
+  if (upper == "WITHIN") return TokKind::kWithin;
+  if (upper == "AND") return TokKind::kAnd;
+  if (upper == "OR") return TokKind::kOr;
+  if (upper == "NOT") return TokKind::kNot;
+  if (upper == "TRUE") return TokKind::kTrue;
+  if (upper == "FALSE") return TokKind::kFalse;
+  return TokKind::kIdent;
+}
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view input) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+
+  auto push = [&](TokKind k, std::string text, std::size_t at) {
+    out.push_back(Token{k, std::move(text), at});
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (ident_start(c)) {
+      while (i < n && ident_char(input[i])) ++i;
+      std::string word(input.substr(start, i - start));
+      std::string upper = word;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      const TokKind k = keyword_kind(upper);
+      push(k, k == TokKind::kIdent ? std::move(word) : std::move(upper), start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      ++i;  // sign or first digit
+      bool is_float = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) || input[i] == '.')) {
+        if (input[i] == '.') {
+          // a second dot ends the number (so "1.2.3" errors in the parser)
+          if (is_float) break;
+          is_float = true;
+        }
+        ++i;
+      }
+      push(is_float ? TokKind::kFloat : TokKind::kInt,
+           std::string(input.substr(start, i - start)), start);
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++i;
+      std::string content;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\\' && i + 1 < n) {
+          content += input[i + 1];
+          i += 2;
+          continue;
+        }
+        if (input[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        content += input[i];
+        ++i;
+      }
+      if (!closed) throw QueryParseError("unterminated string literal", start);
+      push(TokKind::kString, std::move(content), start);
+      continue;
+    }
+    auto two = [&](char second) { return i + 1 < n && input[i + 1] == second; };
+    switch (c) {
+      case '(': push(TokKind::kLParen, "(", start); ++i; break;
+      case ')': push(TokKind::kRParen, ")", start); ++i; break;
+      case ',': push(TokKind::kComma, ",", start); ++i; break;
+      case '.': push(TokKind::kDot, ".", start); ++i; break;
+      case '=':
+        if (!two('=')) throw QueryParseError("expected '==' (single '=' is not assignment here)", start);
+        push(TokKind::kEq, "==", start);
+        i += 2;
+        break;
+      case '!':
+        if (two('=')) {
+          push(TokKind::kNe, "!=", start);
+          i += 2;
+        } else {
+          push(TokKind::kBang, "!", start);
+          ++i;
+        }
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokKind::kLe, "<=", start);
+          i += 2;
+        } else {
+          push(TokKind::kLt, "<", start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokKind::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokKind::kGt, ">", start);
+          ++i;
+        }
+        break;
+      default:
+        throw QueryParseError(std::string("unexpected character '") + c + "'", start);
+    }
+  }
+  out.push_back(Token{TokKind::kEnd, "", n});
+  return out;
+}
+
+}  // namespace oosp

@@ -1,0 +1,52 @@
+// Tokenizer for the pattern query language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oosp {
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  // keywords
+  kPattern,
+  kSeq,
+  kWhere,
+  kWithin,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kBang,
+  kEq,   // ==
+  kNe,   // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+std::string_view to_string(TokKind k) noexcept;
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     // raw text (unescaped content for strings)
+  std::size_t offset = 0;  // byte offset in the input, for diagnostics
+};
+
+// Throws QueryParseError (see parser.hpp) on malformed input.
+std::vector<Token> tokenize(std::string_view input);
+
+}  // namespace oosp

@@ -1,0 +1,170 @@
+#include "query/parser.hpp"
+
+#include <charconv>
+
+#include "query/lexer.hpp"
+
+namespace oosp {
+
+QueryParseError::QueryParseError(std::string message, std::size_t offset)
+    : std::runtime_error(message + " (at offset " + std::to_string(offset) + ")"),
+      offset_(offset) {}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : toks_(tokenize(text)) {}
+
+  ParsedQuery parse_query() {
+    ParsedQuery q;
+    expect(TokKind::kPattern);
+    expect(TokKind::kSeq);
+    expect(TokKind::kLParen);
+    q.steps.push_back(parse_step());
+    while (accept(TokKind::kComma)) q.steps.push_back(parse_step());
+    expect(TokKind::kRParen);
+    if (accept(TokKind::kWhere)) q.where = parse_or();
+    expect(TokKind::kWithin);
+    q.window = parse_window();
+    expect(TokKind::kEnd);
+    return q;
+  }
+
+  BoolExpr parse_bare_expression() {
+    BoolExpr e = parse_or();
+    expect(TokKind::kEnd);
+    return e;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw QueryParseError(msg + ", got " + std::string(to_string(cur().kind)) +
+                              (cur().text.empty() ? "" : " '" + cur().text + "'"),
+                          cur().offset);
+  }
+
+  bool accept(TokKind k) {
+    if (cur().kind != k) return false;
+    ++pos_;
+    return true;
+  }
+
+  Token expect(TokKind k) {
+    if (cur().kind != k) fail("expected " + std::string(to_string(k)));
+    return toks_[pos_++];
+  }
+
+  StepDecl parse_step() {
+    StepDecl s;
+    s.negated = accept(TokKind::kBang) || accept(TokKind::kNot);
+    s.type_name = expect(TokKind::kIdent).text;
+    s.binding = expect(TokKind::kIdent).text;
+    return s;
+  }
+
+  Timestamp parse_window() {
+    const Token t = expect(TokKind::kInt);
+    Timestamp w = 0;
+    const auto [p, ec] = std::from_chars(t.text.data(), t.text.data() + t.text.size(), w);
+    if (ec != std::errc{} || p != t.text.data() + t.text.size())
+      throw QueryParseError("invalid window literal '" + t.text + "'", t.offset);
+    if (w <= 0) throw QueryParseError("window must be positive", t.offset);
+    return w;
+  }
+
+  BoolExpr parse_or() {
+    std::vector<BoolExpr> kids;
+    kids.push_back(parse_and());
+    while (accept(TokKind::kOr)) kids.push_back(parse_and());
+    if (kids.size() == 1) return std::move(kids[0]);
+    return BoolExpr::make_or(std::move(kids));
+  }
+
+  BoolExpr parse_and() {
+    std::vector<BoolExpr> kids;
+    kids.push_back(parse_not());
+    while (accept(TokKind::kAnd)) kids.push_back(parse_not());
+    if (kids.size() == 1) return std::move(kids[0]);
+    return BoolExpr::make_and(std::move(kids));
+  }
+
+  BoolExpr parse_not() {
+    if (accept(TokKind::kNot)) return BoolExpr::make_not(parse_not());
+    return parse_primary();
+  }
+
+  BoolExpr parse_primary() {
+    if (accept(TokKind::kLParen)) {
+      BoolExpr e = parse_or();
+      expect(TokKind::kRParen);
+      return e;
+    }
+    Comparison c;
+    c.lhs = parse_operand();
+    switch (cur().kind) {
+      case TokKind::kEq: c.op = CmpOp::kEq; break;
+      case TokKind::kNe: c.op = CmpOp::kNe; break;
+      case TokKind::kLt: c.op = CmpOp::kLt; break;
+      case TokKind::kLe: c.op = CmpOp::kLe; break;
+      case TokKind::kGt: c.op = CmpOp::kGt; break;
+      case TokKind::kGe: c.op = CmpOp::kGe; break;
+      default: fail("expected comparison operator");
+    }
+    ++pos_;
+    c.rhs = parse_operand();
+    return BoolExpr::make_cmp(std::move(c));
+  }
+
+  Operand parse_operand() {
+    const Token t = cur();
+    switch (t.kind) {
+      case TokKind::kIdent: {
+        ++pos_;
+        expect(TokKind::kDot);
+        const Token attr = expect(TokKind::kIdent);
+        return AttrRef{t.text, attr.text};
+      }
+      case TokKind::kInt: {
+        ++pos_;
+        std::int64_t v = 0;
+        const auto [p, ec] = std::from_chars(t.text.data(), t.text.data() + t.text.size(), v);
+        if (ec != std::errc{} || p != t.text.data() + t.text.size())
+          throw QueryParseError("invalid integer literal '" + t.text + "'", t.offset);
+        return Value(v);
+      }
+      case TokKind::kFloat: {
+        ++pos_;
+        std::size_t consumed = 0;
+        double v = 0.0;
+        try {
+          v = std::stod(t.text, &consumed);
+        } catch (const std::exception&) {
+          throw QueryParseError("invalid float literal '" + t.text + "'", t.offset);
+        }
+        if (consumed != t.text.size())
+          throw QueryParseError("invalid float literal '" + t.text + "'", t.offset);
+        return Value(v);
+      }
+      case TokKind::kString: ++pos_; return Value(t.text);
+      case TokKind::kTrue: ++pos_; return Value(true);
+      case TokKind::kFalse: ++pos_; return Value(false);
+      default: fail("expected operand");
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParsedQuery parse_query(std::string_view text) { return Parser(text).parse_query(); }
+
+BoolExpr parse_expression(std::string_view text) {
+  return Parser(text).parse_bare_expression();
+}
+
+}  // namespace oosp

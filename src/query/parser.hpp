@@ -1,0 +1,37 @@
+// Recursive-descent parser for the pattern query language.
+//
+// Grammar (keywords case-insensitive):
+//   query      := PATTERN SEQ '(' step (',' step)* ')' [WHERE or_expr] WITHIN INT
+//   step       := ['!'] IDENT IDENT                  // TypeName binding
+//   or_expr    := and_expr (OR and_expr)*
+//   and_expr   := not_expr (AND not_expr)*
+//   not_expr   := NOT not_expr | primary
+//   primary    := '(' or_expr ')' | comparison
+//   comparison := operand ('=='|'!='|'<'|'<='|'>'|'>=') operand
+//   operand    := IDENT '.' IDENT | INT | FLOAT | STRING | TRUE | FALSE
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "query/ast.hpp"
+
+namespace oosp {
+
+class QueryParseError : public std::runtime_error {
+ public:
+  QueryParseError(std::string message, std::size_t offset);
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+// Parses a full query. Throws QueryParseError on syntax errors.
+ParsedQuery parse_query(std::string_view text);
+
+// Parses a standalone boolean expression (exposed for tests/tools).
+BoolExpr parse_expression(std::string_view text);
+
+}  // namespace oosp

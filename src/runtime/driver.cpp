@@ -1,0 +1,52 @@
+#include "runtime/driver.hpp"
+
+#include <chrono>
+
+namespace oosp {
+
+namespace {
+
+class DriverSink final : public MatchSink {
+ public:
+  DriverSink(RunResult& result, bool collect) : result_(result), collect_(collect) {}
+
+  void on_match(Match&& m) override {
+    ++result_.matches;
+    result_.delay.add(static_cast<double>(m.detection_delay()));
+    if (collect_) result_.collected.push_back(std::move(m));
+  }
+
+  void on_retract(const Match& m) override {
+    ++result_.retractions;
+    if (collect_) result_.collected_retractions.push_back(m);
+  }
+
+ private:
+  RunResult& result_;
+  bool collect_;
+};
+
+}  // namespace
+
+RunResult run_stream(const CompiledQuery& query, std::span<const Event> arrivals,
+                     const DriverConfig& config) {
+  RunResult result;
+  DriverSink sink(result, config.collect_matches);
+  const auto engine = make_engine(config.kind, query, sink, config.options);
+  result.engine_name = engine->name();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Event& e : arrivals) engine->on_event(e);
+  engine->finish();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  result.stats = engine->stats();
+  result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  result.events_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(arrivals.size()) / result.wall_seconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace oosp

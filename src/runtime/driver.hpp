@@ -1,0 +1,44 @@
+// Experiment driver: feeds an arrival sequence through an engine, timing
+// the run and aggregating per-result detection delays. All benchmark
+// binaries and integration tests go through this single code path so
+// every engine is measured identically.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "engine/core/stats.hpp"
+#include "engine/engines.hpp"
+#include "event/event.hpp"
+
+namespace oosp {
+
+struct DriverConfig {
+  EngineKind kind = EngineKind::kOoo;
+  EngineOptions options;
+  // Keep full match bodies (tests/verification); otherwise only delay
+  // statistics are aggregated.
+  bool collect_matches = false;
+};
+
+struct RunResult {
+  std::string engine_name;
+  EngineStats stats;
+  double wall_seconds = 0.0;
+  double events_per_second = 0.0;
+  std::uint64_t matches = 0;
+  std::uint64_t retractions = 0;  // aggressive policy only
+
+  // Detection delay (stream-time, see Match::detection_delay) per match.
+  StatAccumulator delay;
+
+  std::vector<Match> collected;            // filled when collect_matches
+  std::vector<Match> collected_retractions;  // filled when collect_matches
+};
+
+RunResult run_stream(const CompiledQuery& query, std::span<const Event> arrivals,
+                     const DriverConfig& config);
+
+}  // namespace oosp

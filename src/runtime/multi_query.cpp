@@ -1,0 +1,58 @@
+#include "runtime/multi_query.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+std::vector<MatchKey> CollectingTaggedSink::keys_for(QueryId query) const {
+  std::vector<MatchKey> keys;
+  for (const TaggedMatch& tm : matches_)
+    if (tm.query == query) keys.push_back(match_key(tm.match));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+MultiQueryRunner::MultiQueryRunner(const TypeRegistry& registry, TaggedSink& sink)
+    : registry_(registry), sink_(sink) {
+  routes_.resize(registry.size());
+}
+
+QueryId MultiQueryRunner::add_query(std::string_view text, EngineKind kind,
+                                    EngineOptions options) {
+  OOSP_REQUIRE(!started_, "add_query after the first event");
+  const QueryId id = entries_.size();
+  Entry entry;
+  entry.query = std::make_unique<CompiledQuery>(compile_query(text, registry_));
+  entry.sink = std::make_unique<TagSink>(sink_, id);
+  entry.engine = make_engine(kind, *entry.query, *entry.sink, options);
+  // Index the types this query listens to.
+  routes_.resize(std::max(routes_.size(), static_cast<std::size_t>(registry_.size())));
+  for (TypeId t = 0; t < registry_.size(); ++t)
+    if (entry.query->relevant(t)) routes_[t].push_back(id);
+  const bool has_negation =
+      entry.query->positive_steps().size() != entry.query->num_steps();
+  if (has_negation) clock_subscribers_.push_back(id);
+  entries_.push_back(std::move(entry));
+  return id;
+}
+
+void MultiQueryRunner::on_event(const Event& e) {
+  started_ = true;
+  ++events_seen_;
+  const bool relevant = e.type < routes_.size() && !routes_[e.type].empty();
+  if (relevant) {
+    ++events_routed_;
+    for (const QueryId id : routes_[e.type]) entries_[id].engine->on_event(e);
+  }
+  // Clock ticks for negation sealing (skip engines already served above).
+  for (const QueryId id : clock_subscribers_)
+    if (!entries_[id].query->relevant(e.type)) entries_[id].engine->on_event(e);
+}
+
+void MultiQueryRunner::finish() {
+  for (Entry& entry : entries_) entry.engine->finish();
+}
+
+}  // namespace oosp

@@ -1,0 +1,99 @@
+// Multi-query execution: many pattern queries over one arrival stream.
+//
+// A production deployment rarely runs a single query. MultiQueryRunner
+// owns one engine per registered query and routes each arriving event
+// only to the engines whose queries reference its type — the shared-scan
+// dispatch that makes q irrelevant queries cost nothing per event.
+// Exception: engines whose query has negated steps additionally receive
+// every event as a clock tick — negation sealing needs stream-time
+// progress, and an engine that only sees its own types would sit on
+// pending matches until the next relevant arrival. Results are tagged
+// with the originating query's id.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engines.hpp"
+
+namespace oosp {
+
+using QueryId = std::size_t;
+
+struct TaggedMatch {
+  QueryId query = 0;
+  Match match;
+};
+
+class TaggedSink {
+ public:
+  virtual ~TaggedSink() = default;
+  virtual void on_match(QueryId query, Match&& m) = 0;
+  virtual void on_retract(QueryId query, const Match& m) {
+    (void)query;
+    (void)m;
+  }
+};
+
+class CollectingTaggedSink final : public TaggedSink {
+ public:
+  void on_match(QueryId query, Match&& m) override {
+    matches_.push_back(TaggedMatch{query, std::move(m)});
+  }
+  const std::vector<TaggedMatch>& matches() const noexcept { return matches_; }
+  std::vector<MatchKey> keys_for(QueryId query) const;
+
+ private:
+  std::vector<TaggedMatch> matches_;
+};
+
+class MultiQueryRunner {
+ public:
+  // `registry` must outlive the runner; engines reference the compiled
+  // queries the runner stores.
+  MultiQueryRunner(const TypeRegistry& registry, TaggedSink& sink);
+
+  // Compiles and registers a query; returns its id. All queries must be
+  // added before the first on_event.
+  QueryId add_query(std::string_view text, EngineKind kind, EngineOptions options = {});
+
+  void on_event(const Event& e);
+  void finish();
+
+  std::size_t query_count() const noexcept { return entries_.size(); }
+  const CompiledQuery& query(QueryId id) const { return *entries_.at(id).query; }
+  EngineStats stats(QueryId id) const { return entries_.at(id).engine->stats(); }
+
+  // Events delivered to at least one engine.
+  std::uint64_t events_routed() const noexcept { return events_routed_; }
+  std::uint64_t events_seen() const noexcept { return events_seen_; }
+
+ private:
+  struct TagSink final : public MatchSink {
+    TagSink(TaggedSink& out, QueryId id) : out_(out), id_(id) {}
+    void on_match(Match&& m) override { out_.on_match(id_, std::move(m)); }
+    void on_retract(const Match& m) override { out_.on_retract(id_, m); }
+    TaggedSink& out_;
+    QueryId id_;
+  };
+
+  struct Entry {
+    std::unique_ptr<CompiledQuery> query;
+    std::unique_ptr<TagSink> sink;
+    std::unique_ptr<PatternEngine> engine;
+  };
+
+  const TypeRegistry& registry_;
+  TaggedSink& sink_;
+  std::vector<Entry> entries_;
+  // type id → ids of queries that reference it (shared-scan index).
+  std::vector<std::vector<QueryId>> routes_;
+  // queries with negated steps: receive every event for clock progress.
+  std::vector<QueryId> clock_subscribers_;
+  bool started_ = false;
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t events_routed_ = 0;
+};
+
+}  // namespace oosp

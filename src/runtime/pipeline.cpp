@@ -1,0 +1,39 @@
+#include "runtime/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+CompositeEmitter::CompositeEmitter(TypeId composite_type, Mapper mapper,
+                                   PatternEngine& downstream, EventId first_id)
+    : composite_type_(composite_type),
+      mapper_(std::move(mapper)),
+      downstream_(downstream),
+      next_id_(first_id) {
+  OOSP_REQUIRE(composite_type != kInvalidType, "composite type must be registered");
+  OOSP_REQUIRE(mapper_ != nullptr, "composite mapper must be callable");
+}
+
+void CompositeEmitter::on_match(Match&& m) {
+  Event e;
+  e.type = composite_type_;
+  e.id = next_id_++;
+  e.ts = m.last_ts();
+  e.arrival = next_arrival_++;
+  e.attrs = mapper_(m);
+  if (max_ts_emitted_ != kMinTimestamp && e.ts < max_ts_emitted_)
+    max_lateness_ = std::max(max_lateness_, max_ts_emitted_ - e.ts);
+  max_ts_emitted_ = std::max(max_ts_emitted_, e.ts);
+  ++emitted_;
+  downstream_.on_event(e);
+}
+
+void CompositeEmitter::on_retract(const Match&) {
+  OOSP_CHECK(false,
+             "CompositeEmitter cannot consume retractions: run the upstream "
+             "stage with the conservative negation policy");
+}
+
+}  // namespace oosp

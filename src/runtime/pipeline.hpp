@@ -1,0 +1,64 @@
+// Hierarchical (multi-stage) complex event processing.
+//
+// CEP engines commonly feed detected matches back in as COMPOSITE events
+// so higher-level patterns can be expressed over lower-level detections
+// (e.g. per-pallet reads composed from per-item reads, or "three brute-
+// force alerts from the same subnet within an hour"). CompositeEmitter
+// is a MatchSink that converts each match of an upstream query into an
+// event of a registered composite type and pushes it straight into a
+// downstream engine.
+//
+// Out-of-order composition: the upstream engine may emit matches out of
+// timestamp order (a late constituent produces a late match). The
+// composite event's timestamp is the match's completing timestamp
+// (last_ts), and its lateness as seen downstream equals the upstream
+// match's detection delay — so the downstream engine's slack must cover
+// the upstream engine's maximum detection delay (upstream slack K for
+// pure-positive patterns; K plus sealing wait for negation patterns).
+// CompositeEmitter tracks the observed lateness so callers can assert
+// their chosen downstream slack was sufficient.
+//
+// Retractions are NOT composable: an upstream engine running the
+// aggressive policy would retract composite events the downstream engine
+// already consumed. CompositeEmitter therefore refuses retractions —
+// run upstream stages with the conservative policy.
+#pragma once
+
+#include <functional>
+
+#include "engine/core/engine.hpp"
+
+namespace oosp {
+
+class CompositeEmitter final : public MatchSink {
+ public:
+  // Builds attribute values for the composite event from a match.
+  using Mapper = std::function<std::vector<Value>(const Match&)>;
+
+  // `composite_type` must be registered (with a schema matching what
+  // `mapper` produces) in the registry the downstream query was compiled
+  // against. Event ids are assigned from `first_id` — pick a range
+  // disjoint from the base stream's ids.
+  CompositeEmitter(TypeId composite_type, Mapper mapper, PatternEngine& downstream,
+                   EventId first_id);
+
+  void on_match(Match&& m) override;
+  [[noreturn]] void on_retract(const Match& m) override;
+
+  // How many composite events were emitted, and the largest lateness the
+  // downstream engine observed from them (max upstream detection delay).
+  std::uint64_t emitted() const noexcept { return emitted_; }
+  Timestamp max_downstream_lateness() const noexcept { return max_lateness_; }
+
+ private:
+  TypeId composite_type_;
+  Mapper mapper_;
+  PatternEngine& downstream_;
+  EventId next_id_;
+  ArrivalSeq next_arrival_ = 0;
+  std::uint64_t emitted_ = 0;
+  Timestamp max_ts_emitted_ = kMinTimestamp;
+  Timestamp max_lateness_ = 0;
+};
+
+}  // namespace oosp

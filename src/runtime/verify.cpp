@@ -1,0 +1,44 @@
+#include "runtime/verify.hpp"
+
+#include <algorithm>
+
+#include "engine/oracle/oracle.hpp"
+
+namespace oosp {
+
+VerifyResult compare_keys(std::span<const MatchKey> expected_sorted,
+                          std::span<const MatchKey> produced_sorted) {
+  VerifyResult r;
+  r.expected = expected_sorted.size();
+  r.produced = produced_sorted.size();
+  std::size_t i = 0, j = 0;
+  while (i < expected_sorted.size() && j < produced_sorted.size()) {
+    if (expected_sorted[i] == produced_sorted[j]) {
+      ++r.true_positives;
+      ++i;
+      ++j;
+    } else if (expected_sorted[i] < produced_sorted[j]) {
+      ++r.missed;
+      ++i;
+    } else {
+      ++r.false_positives;
+      ++j;
+    }
+  }
+  r.missed += expected_sorted.size() - i;
+  r.false_positives += produced_sorted.size() - j;
+  return r;
+}
+
+VerifyResult verify_against_oracle(const CompiledQuery& query,
+                                   std::span<const Event> events,
+                                   std::span<const Match> produced) {
+  const std::vector<MatchKey> expected = oracle_keys(query, events);
+  std::vector<MatchKey> got;
+  got.reserve(produced.size());
+  for (const Match& m : produced) got.push_back(match_key(m));
+  std::sort(got.begin(), got.end());
+  return compare_keys(expected, got);
+}
+
+}  // namespace oosp

@@ -1,0 +1,45 @@
+// Result verification: scores an engine's output against ground truth.
+//
+// Used by integration tests (exactness assertions) and by experiment
+// R-T2, which quantifies how badly the conventional in-order engines
+// corrupt results when fed out-of-order input (missed matches from late
+// events and unsafe purges; phantom matches from negation checked too
+// early).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "engine/core/match.hpp"
+#include "query/compiled.hpp"
+
+namespace oosp {
+
+struct VerifyResult {
+  std::uint64_t expected = 0;        // oracle matches
+  std::uint64_t produced = 0;        // engine matches (duplicates included)
+  std::uint64_t true_positives = 0;  // produced ∩ expected (multiset)
+  std::uint64_t false_positives = 0;
+  std::uint64_t missed = 0;
+
+  double recall() const noexcept {
+    return expected ? static_cast<double>(true_positives) / static_cast<double>(expected)
+                    : 1.0;
+  }
+  double precision() const noexcept {
+    return produced ? static_cast<double>(true_positives) / static_cast<double>(produced)
+                    : 1.0;
+  }
+  bool exact() const noexcept { return false_positives == 0 && missed == 0; }
+};
+
+// Multiset comparison of sorted key lists.
+VerifyResult compare_keys(std::span<const MatchKey> expected_sorted,
+                          std::span<const MatchKey> produced_sorted);
+
+// Runs the oracle over `events` and scores `produced` against it.
+VerifyResult verify_against_oracle(const CompiledQuery& query,
+                                   std::span<const Event> events,
+                                   std::span<const Match> produced);
+
+}  // namespace oosp

@@ -1,0 +1,58 @@
+// Stream clock: the engine-side notion of time progress.
+//
+// The clock is the maximum application timestamp delivered so far. Under
+// the K-slack contract every event arrives before the clock exceeds its
+// timestamp by more than K, which makes two derived quantities safe:
+//
+//   * seal point  = clock − K : no future event can carry ts <= seal
+//     point, so intervals ending at or before it are final ("sealed").
+//   * purge point = clock − W − K : state older than this can never join
+//     a new match of a window-W query (DESIGN.md §3.3).
+//
+// The clock also measures the observed lateness of each event, which
+// tests use to validate that injected streams respect their stated bound.
+#pragma once
+
+#include <algorithm>
+
+#include "event/event.hpp"
+
+namespace oosp {
+
+class StreamClock {
+ public:
+  explicit StreamClock(Timestamp slack = 0) : slack_(slack) {}
+
+  // Observes an arrival; returns the event's lateness (0 when in order).
+  Timestamp observe(const Event& e) noexcept {
+    const Timestamp lateness = started_ ? std::max<Timestamp>(0, clock_ - e.ts) : 0;
+    max_lateness_ = std::max(max_lateness_, lateness);
+    clock_ = started_ ? std::max(clock_, e.ts) : e.ts;
+    started_ = true;
+    return lateness;
+  }
+
+  bool started() const noexcept { return started_; }
+  Timestamp now() const noexcept { return started_ ? clock_ : kMinTimestamp; }
+  Timestamp slack() const noexcept { return slack_; }
+  Timestamp max_lateness() const noexcept { return max_lateness_; }
+
+  // Largest timestamp t such that no future event can have ts <= t.
+  // kMinTimestamp before any event is seen.
+  Timestamp seal_point() const noexcept {
+    if (!started_) return kMinTimestamp;
+    // Guard against underflow near the numeric extremes.
+    return clock_ < kMinTimestamp + slack_ + 1 ? kMinTimestamp : clock_ - slack_ - 1;
+  }
+
+  // K-slack contract violated iff some event was later than `slack`.
+  bool contract_violated() const noexcept { return max_lateness_ > slack_; }
+
+ private:
+  Timestamp slack_;
+  Timestamp clock_ = kMinTimestamp;
+  Timestamp max_lateness_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace oosp

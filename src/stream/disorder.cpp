@@ -1,0 +1,63 @@
+#include "stream/disorder.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+DisorderInjector::DisorderInjector(LatencyModel model, double ooo_fraction,
+                                   std::uint64_t seed)
+    : model_(model), ooo_fraction_(ooo_fraction), rng_(seed) {
+  OOSP_REQUIRE(ooo_fraction >= 0.0 && ooo_fraction <= 1.0,
+               "ooo_fraction must be in [0,1]");
+}
+
+std::vector<Event> DisorderInjector::deliver(std::span<const Event> in_order) {
+  OOSP_REQUIRE(is_ts_ordered(in_order), "deliver() expects a ts-ordered stream");
+  struct Item {
+    Event event;
+    Timestamp delivery;
+    std::size_t source_pos;
+  };
+  std::vector<Item> items;
+  items.reserve(in_order.size());
+  for (std::size_t i = 0; i < in_order.size(); ++i) {
+    const Event& e = in_order[i];
+    const Timestamp delay = rng_.bernoulli(ooo_fraction_) ? model_.sample(rng_) : 0;
+    items.push_back(Item{e, e.ts + delay, i});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.delivery != b.delivery) return a.delivery < b.delivery;
+    return a.source_pos < b.source_pos;
+  });
+  std::vector<Event> out;
+  out.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out.push_back(std::move(items[i].event));
+    out.back().arrival = i;
+  }
+  return out;
+}
+
+DisorderStats DisorderInjector::measure(std::span<const Event> arrivals) {
+  DisorderStats s;
+  s.events = arrivals.size();
+  Timestamp clock = kMinTimestamp;
+  for (const Event& e : arrivals) {
+    if (clock != kMinTimestamp && e.ts < clock) {
+      ++s.late_events;
+      s.max_lateness = std::max(s.max_lateness, clock - e.ts);
+    }
+    clock = std::max(clock, e.ts);
+  }
+  return s;
+}
+
+bool is_ts_ordered(std::span<const Event> events) noexcept {
+  for (std::size_t i = 1; i < events.size(); ++i)
+    if (events[i].ts < events[i - 1].ts) return false;
+  return true;
+}
+
+}  // namespace oosp

@@ -1,0 +1,57 @@
+// Disorder injection: converts a timestamp-ordered stream into the
+// arrival-ordered stream an engine would observe behind a lossy network.
+//
+// Each event independently suffers a delivery delay: with probability
+// `ooo_fraction` a delay sampled from `model`, otherwise zero. Events are
+// then delivered in (ts + delay) order. Because delays are clamped to
+// model.max_delay, the produced stream satisfies the K-slack contract
+// with K = model.max_delay: when an event with timestamp t arrives, no
+// later-arriving event has timestamp < t − K… more precisely, every event
+// arrives before the stream clock (max ts delivered) exceeds its own
+// timestamp by more than K.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "event/event.hpp"
+#include "stream/latency.hpp"
+
+namespace oosp {
+
+struct DisorderStats {
+  std::uint64_t events = 0;
+  std::uint64_t late_events = 0;   // events overtaken by a larger-ts event
+  Timestamp max_lateness = 0;      // max over events of (clock before arrival − ts)
+  double ooo_percent() const noexcept {
+    return events ? 100.0 * static_cast<double>(late_events) / static_cast<double>(events) : 0.0;
+  }
+};
+
+class DisorderInjector {
+ public:
+  // `ooo_fraction` in [0,1]: probability an event is delayed at all.
+  DisorderInjector(LatencyModel model, double ooo_fraction, std::uint64_t seed);
+
+  // Takes a ts-ordered stream; returns the arrival-ordered stream with
+  // `arrival` sequence numbers assigned (0,1,2,…). Ties in delivery time
+  // keep source order (stable), which mimics FIFO per-instant delivery.
+  std::vector<Event> deliver(std::span<const Event> in_order);
+
+  // K-slack bound guaranteed by construction.
+  Timestamp slack_bound() const noexcept { return model_.max_delay; }
+
+  // Measures disorder of an arrival-ordered stream (any stream).
+  static DisorderStats measure(std::span<const Event> arrivals);
+
+ private:
+  LatencyModel model_;
+  double ooo_fraction_;
+  Rng rng_;
+};
+
+// Verifies a stream is sorted by timestamp (ties allowed).
+bool is_ts_ordered(std::span<const Event> events) noexcept;
+
+}  // namespace oosp

@@ -1,0 +1,73 @@
+#include "stream/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+std::string_view to_string(LatencyKind k) noexcept {
+  switch (k) {
+    case LatencyKind::kNone: return "none";
+    case LatencyKind::kFixed: return "fixed";
+    case LatencyKind::kUniform: return "uniform";
+    case LatencyKind::kNormal: return "normal";
+    case LatencyKind::kPareto: return "pareto";
+  }
+  return "?";
+}
+
+LatencyModel LatencyModel::fixed(Timestamp d) {
+  OOSP_REQUIRE(d >= 0, "delay must be non-negative");
+  LatencyModel m;
+  m.kind = LatencyKind::kFixed;
+  m.max_delay = d;
+  return m;
+}
+
+LatencyModel LatencyModel::uniform(Timestamp max) {
+  OOSP_REQUIRE(max >= 0, "delay must be non-negative");
+  LatencyModel m;
+  m.kind = LatencyKind::kUniform;
+  m.max_delay = max;
+  return m;
+}
+
+LatencyModel LatencyModel::normal(double mean, double stddev, Timestamp max) {
+  OOSP_REQUIRE(max >= 0, "delay must be non-negative");
+  OOSP_REQUIRE(stddev >= 0.0, "stddev must be non-negative");
+  LatencyModel m;
+  m.kind = LatencyKind::kNormal;
+  m.mean = mean;
+  m.stddev = stddev;
+  m.max_delay = max;
+  return m;
+}
+
+LatencyModel LatencyModel::pareto(double scale, double shape, Timestamp max) {
+  OOSP_REQUIRE(max >= 0, "delay must be non-negative");
+  OOSP_REQUIRE(scale > 0.0 && shape > 0.0, "pareto parameters must be positive");
+  LatencyModel m;
+  m.kind = LatencyKind::kPareto;
+  m.pareto_scale = scale;
+  m.pareto_shape = shape;
+  m.max_delay = max;
+  return m;
+}
+
+Timestamp LatencyModel::sample(Rng& rng) const {
+  double d = 0.0;
+  switch (kind) {
+    case LatencyKind::kNone: return 0;
+    case LatencyKind::kFixed: return max_delay;
+    case LatencyKind::kUniform:
+      return static_cast<Timestamp>(rng.uniform_int(0, max_delay));
+    case LatencyKind::kNormal: d = rng.normal(mean, stddev); break;
+    case LatencyKind::kPareto: d = rng.pareto(pareto_scale, pareto_shape) - pareto_scale; break;
+  }
+  const auto t = static_cast<Timestamp>(std::llround(std::max(0.0, d)));
+  return std::clamp<Timestamp>(t, 0, max_delay);
+}
+
+}  // namespace oosp

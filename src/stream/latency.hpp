@@ -1,0 +1,47 @@
+// Network latency models for the simulated delivery path.
+//
+// The paper attributes out-of-order arrival to "networking latencies and
+// even machine failure". We model the delivery delay of each event as a
+// random variable; sorting by (ts + delay) turns an in-order stream into
+// the out-of-order arrival sequence the engine observes. All models are
+// clamped to [0, max_delay], so `max_delay` is a sound K-slack bound for
+// the resulting stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "event/event.hpp"
+
+namespace oosp {
+
+enum class LatencyKind : std::uint8_t {
+  kNone,     // always 0
+  kFixed,    // always max_delay
+  kUniform,  // U[0, max_delay]
+  kNormal,   // N(mean, stddev) clamped to [0, max_delay]
+  kPareto,   // pareto(scale, shape) − scale, clamped (heavy tail)
+};
+
+std::string_view to_string(LatencyKind k) noexcept;
+
+struct LatencyModel {
+  LatencyKind kind = LatencyKind::kNone;
+  Timestamp max_delay = 0;  // clamp bound == K-slack guarantee
+  double mean = 0.0;        // kNormal
+  double stddev = 0.0;      // kNormal
+  double pareto_scale = 1.0;  // kPareto
+  double pareto_shape = 1.5;  // kPareto
+
+  static LatencyModel none() { return {}; }
+  static LatencyModel fixed(Timestamp d);
+  static LatencyModel uniform(Timestamp max);
+  static LatencyModel normal(double mean, double stddev, Timestamp max);
+  static LatencyModel pareto(double scale, double shape, Timestamp max);
+
+  // Samples one delivery delay in [0, max_delay].
+  Timestamp sample(Rng& rng) const;
+};
+
+}  // namespace oosp

@@ -1,0 +1,65 @@
+#include "stream/outage.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "stream/disorder.hpp"
+
+namespace oosp {
+
+OutageInjector::OutageInjector(OutageConfig config) : config_(config), rng_(config.seed) {
+  OOSP_REQUIRE(config_.min_duration >= 1, "outage duration must be positive");
+  OOSP_REQUIRE(config_.max_duration >= config_.min_duration,
+               "max_duration must be >= min_duration");
+  OOSP_REQUIRE(config_.affected_fraction >= 0.0 && config_.affected_fraction <= 1.0,
+               "affected_fraction must be in [0,1]");
+}
+
+std::vector<Event> OutageInjector::deliver(std::span<const Event> in_order) {
+  OOSP_REQUIRE(is_ts_ordered(in_order), "deliver() expects a ts-ordered stream");
+  windows_.clear();
+  slack_bound_ = 0;
+  if (in_order.empty()) return {};
+
+  const Timestamp span_lo = in_order.front().ts;
+  const Timestamp span_hi = in_order.back().ts;
+  for (std::size_t i = 0; i < config_.outages; ++i) {
+    const Timestamp duration =
+        rng_.uniform_int(config_.min_duration, config_.max_duration);
+    if (span_hi <= span_lo) break;
+    const Timestamp start = rng_.uniform_int(span_lo, span_hi);
+    windows_.push_back(Window{start, start + duration});
+    slack_bound_ = std::max(slack_bound_, duration);
+  }
+  // Overlapping outages behave like one longer outage for the events in
+  // the overlap; delivery uses the max recovery instant covering each ts.
+  struct Item {
+    Event event;
+    Timestamp delivery;
+    std::size_t pos;
+  };
+  std::vector<Item> items;
+  items.reserve(in_order.size());
+  for (std::size_t i = 0; i < in_order.size(); ++i) {
+    const Event& e = in_order[i];
+    Timestamp delivery = e.ts;
+    if (rng_.bernoulli(config_.affected_fraction)) {
+      for (const Window& w : windows_)
+        if (e.ts >= w.start && e.ts < w.end) delivery = std::max(delivery, w.end);
+    }
+    items.push_back(Item{e, delivery, i});
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.delivery != b.delivery) return a.delivery < b.delivery;
+    return a.pos < b.pos;
+  });
+  std::vector<Event> out;
+  out.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out.push_back(std::move(items[i].event));
+    out.back().arrival = i;
+  }
+  return out;
+}
+
+}  // namespace oosp

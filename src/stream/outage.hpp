@@ -1,0 +1,61 @@
+// Outage (machine-failure) disorder model.
+//
+// The paper's abstract names two causes of out-of-order arrival:
+// networking latencies — modelled by DisorderInjector's per-event random
+// delays — and machine failure, modelled here. During an outage window a
+// link or broker buffers everything it carries; on recovery the backlog
+// is flushed at once. Only PART of the traffic rides the failing path
+// (`affected_fraction` — think one of several sensors, partitions or
+// replicated links), so unaffected events keep flowing during the outage
+// and the flushed backlog lands behind them: long stretches of perfectly
+// ordered data punctuated by dense, heavily-late bursts, with the
+// maximum lateness bounded by the longest outage. (A 100%-affected
+// outage of a single totally-ordered pipeline merely delays the whole
+// stream and produces no disorder — the backlog still drains in
+// timestamp order.)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "event/event.hpp"
+
+namespace oosp {
+
+struct OutageConfig {
+  std::size_t outages = 3;          // failure episodes across the stream
+  Timestamp min_duration = 100;     // outage length drawn U[min, max]
+  Timestamp max_duration = 500;
+  double affected_fraction = 0.5;   // share of traffic on the failing path
+  std::uint64_t seed = 1;
+};
+
+class OutageInjector {
+ public:
+  explicit OutageInjector(OutageConfig config);
+
+  // Takes a ts-ordered stream; returns the arrival order with outage
+  // backlogs flushed at their recovery instants. Arrival sequence
+  // numbers are reassigned.
+  std::vector<Event> deliver(std::span<const Event> in_order);
+
+  // Sound K-slack bound for the LAST deliver() call: the longest outage
+  // actually scheduled (0 before any call).
+  Timestamp slack_bound() const noexcept { return slack_bound_; }
+
+  // The outage windows scheduled by the last deliver() call.
+  struct Window {
+    Timestamp start;
+    Timestamp end;  // recovery instant (exclusive of further delay)
+  };
+  const std::vector<Window>& windows() const noexcept { return windows_; }
+
+ private:
+  OutageConfig config_;
+  Rng rng_;
+  Timestamp slack_bound_ = 0;
+  std::vector<Window> windows_;
+};
+
+}  // namespace oosp

@@ -1,0 +1,55 @@
+#include "stream/source.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+MergeSource::MergeSource(std::vector<Input> inputs) : inputs_(std::move(inputs)) {
+  OOSP_REQUIRE(!inputs_.empty(), "merge needs at least one input");
+  Timestamp min_delay = kMaxTimestamp, max_delay = 0;
+  for (const Input& in : inputs_) {
+    OOSP_REQUIRE(in.source != nullptr, "merge input has null source");
+    OOSP_REQUIRE(in.channel_delay >= 0, "channel delay must be non-negative");
+    min_delay = std::min(min_delay, in.channel_delay);
+    max_delay = std::max(max_delay, in.channel_delay);
+  }
+  slack_bound_ = max_delay - min_delay;
+  heads_.resize(inputs_.size());
+  for (std::size_t i = 0; i < inputs_.size(); ++i) refill(i);
+}
+
+void MergeSource::refill(std::size_t input) {
+  auto e = inputs_[input].source->next();
+  if (!e) {
+    heads_[input] = std::nullopt;
+    return;
+  }
+  const Timestamp delivery = e->ts + inputs_[input].channel_delay;
+  heads_[input] = Head{std::move(*e), delivery, input};
+}
+
+std::optional<Event> MergeSource::next() {
+  std::size_t best = heads_.size();
+  for (std::size_t i = 0; i < heads_.size(); ++i) {
+    if (!heads_[i]) continue;
+    if (best == heads_.size() || heads_[i]->delivery < heads_[best]->delivery ||
+        (heads_[i]->delivery == heads_[best]->delivery &&
+         heads_[i]->event.ts < heads_[best]->event.ts))
+      best = i;
+  }
+  if (best == heads_.size()) return std::nullopt;
+  Event out = std::move(heads_[best]->event);
+  out.arrival = next_arrival_++;
+  refill(best);
+  return out;
+}
+
+std::vector<Event> drain(EventSource& source) {
+  std::vector<Event> out;
+  while (auto e = source.next()) out.push_back(std::move(*e));
+  return out;
+}
+
+}  // namespace oosp

@@ -1,0 +1,72 @@
+#include "workload/intrusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+IntrusionWorkload::IntrusionWorkload(IntrusionConfig config)
+    : config_(config), rng_(config.seed) {
+  OOSP_REQUIRE(config_.num_ips >= 1, "need at least one ip");
+  const Schema auth_schema({{"ip", ValueType::kInt}, {"user", ValueType::kInt}});
+  registry_.register_type("Fail", auth_schema);
+  registry_.register_type("Ok", auth_schema);
+}
+
+std::vector<Event> IntrusionWorkload::generate() {
+  const TypeId fail = registry_.lookup("Fail");
+  const TypeId ok = registry_.lookup("Ok");
+  const auto attackers = static_cast<std::size_t>(std::llround(
+      config_.attack_ip_fraction * static_cast<double>(config_.num_ips)));
+  std::vector<Event> out;
+  out.reserve(config_.num_events);
+  Timestamp ts = 0;
+  EventId id = 0;
+  auto gap = [&] {
+    return std::max<Timestamp>(
+        1, static_cast<Timestamp>(std::llround(
+               rng_.exponential(1.0 / static_cast<double>(config_.mean_gap)))));
+  };
+  auto push = [&](TypeId type, std::int64_t ip) {
+    ts += gap();
+    Event e;
+    e.type = type;
+    e.id = id++;
+    e.ts = ts;
+    e.attrs = {Value(ip), Value(rng_.uniform_int(0, 9'999))};
+    out.push_back(std::move(e));
+  };
+  while (out.size() < config_.num_events) {
+    // Occasionally interleave a full attack burst from an attacker IP.
+    if (attackers > 0 && rng_.bernoulli(0.01)) {
+      const std::int64_t ip =
+          rng_.uniform_int(0, static_cast<std::int64_t>(attackers) - 1);
+      for (std::size_t i = 0; i < config_.attack_burst && out.size() < config_.num_events;
+           ++i)
+        push(fail, ip);
+      if (out.size() < config_.num_events) push(ok, ip);
+      continue;
+    }
+    const std::int64_t ip =
+        rng_.uniform_int(0, static_cast<std::int64_t>(config_.num_ips) - 1);
+    push(rng_.bernoulli(config_.fail_fraction) ? fail : ok, ip);
+  }
+  return out;
+}
+
+std::string IntrusionWorkload::bruteforce_query(std::size_t fails, Timestamp window) const {
+  OOSP_REQUIRE(fails >= 1, "need at least one failure step");
+  std::ostringstream q;
+  q << "PATTERN SEQ(";
+  for (std::size_t i = 0; i < fails; ++i) q << "Fail f" << (i + 1) << ", ";
+  q << "Ok o) WHERE ";
+  for (std::size_t i = 1; i < fails; ++i)
+    q << "f" << i << ".ip == f" << (i + 1) << ".ip AND ";
+  q << "f" << fails << ".ip == o.ip WITHIN " << window;
+  return q.str();
+}
+
+}  // namespace oosp

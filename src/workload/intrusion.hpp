@@ -1,0 +1,54 @@
+// Intrusion-detection workload: authentication events per source IP.
+//
+// Background traffic is a mix of successful logins and occasional
+// isolated failures; attack sessions are bursts of failures from one IP
+// followed by a success (credential stuffing that eventually lands).
+// The detection pattern is a fixed-length brute-force signature:
+//
+//   PATTERN SEQ(Fail f1, Fail f2, Fail f3, Ok o)
+//   WHERE f1.ip == f2.ip AND … AND f3.ip == o.ip
+//   WITHIN <window>
+//
+// Real-time intrusion detection is the paper's second motivating
+// application; detection delay (R-F3) matters most here — a buffered
+// engine that sits on every alert for the full slack K is late exactly
+// when it must not be.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "event/event.hpp"
+
+namespace oosp {
+
+struct IntrusionConfig {
+  std::size_t num_events = 20'000;
+  std::size_t num_ips = 500;
+  double attack_ip_fraction = 0.02;   // IPs that run attack sessions
+  double fail_fraction = 0.10;        // background failure probability
+  std::size_t attack_burst = 5;       // failures per attack burst
+  Timestamp mean_gap = 5;
+  std::uint64_t seed = 23;
+};
+
+class IntrusionWorkload {
+ public:
+  explicit IntrusionWorkload(IntrusionConfig config);
+
+  const TypeRegistry& registry() const noexcept { return registry_; }
+  const IntrusionConfig& config() const noexcept { return config_; }
+
+  std::vector<Event> generate();
+
+  // Brute-force signature with `fails` consecutive failures.
+  std::string bruteforce_query(std::size_t fails, Timestamp window) const;
+
+ private:
+  IntrusionConfig config_;
+  TypeRegistry registry_;
+  Rng rng_;
+};
+
+}  // namespace oosp

@@ -1,0 +1,89 @@
+#include "workload/rfid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+RfidWorkload::RfidWorkload(RfidConfig config) : config_(config), rng_(config.seed) {
+  OOSP_REQUIRE(config_.num_items >= 1, "need at least one item");
+  OOSP_REQUIRE(config_.shoplift_fraction >= 0.0 && config_.shoplift_fraction <= 1.0,
+               "shoplift_fraction must be in [0,1]");
+  const Schema item_schema({{"item", ValueType::kInt}});
+  registry_.register_type("Shelf", item_schema);
+  registry_.register_type("Checkout", item_schema);
+  registry_.register_type("Exit", item_schema);
+}
+
+std::vector<Event> RfidWorkload::generate() {
+  const TypeId shelf = registry_.lookup("Shelf");
+  const TypeId checkout = registry_.lookup("Checkout");
+  const TypeId exit = registry_.lookup("Exit");
+  std::vector<Event> out;
+  out.reserve(config_.num_items * 3);
+  EventId next_id = 0;
+  Timestamp shelf_ts = 0;
+  shoplifted_ = 0;
+  auto gap = [&](Timestamp mean) {
+    return std::max<Timestamp>(
+        1, static_cast<Timestamp>(
+               std::llround(rng_.exponential(1.0 / static_cast<double>(mean)))));
+  };
+  for (std::size_t item = 0; item < config_.num_items; ++item) {
+    shelf_ts += gap(config_.item_arrival_gap);
+    const bool steals = rng_.bernoulli(config_.shoplift_fraction);
+    if (steals) ++shoplifted_;
+    const auto key = Value(static_cast<std::int64_t>(item));
+
+    Event s;
+    s.type = shelf;
+    s.id = next_id++;
+    s.ts = shelf_ts;
+    s.attrs = {key};
+    out.push_back(std::move(s));
+
+    Timestamp t = shelf_ts + gap(config_.shelf_to_checkout_mean);
+    if (!steals) {
+      Event c;
+      c.type = checkout;
+      c.id = next_id++;
+      c.ts = t;
+      c.attrs = {key};
+      out.push_back(std::move(c));
+    }
+    t += gap(config_.checkout_to_exit_mean);
+    Event e;
+    e.type = exit;
+    e.id = next_id++;
+    e.ts = t;
+    e.attrs = {key};
+    out.push_back(std::move(e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return TsIdLess{}(a, b); });
+  return out;
+}
+
+std::string RfidWorkload::shoplifting_query(Timestamp window) const {
+  std::ostringstream q;
+  // s.item == e.item is the positive join; the negated binding then
+  // attaches to the same item (a chain through `c` alone would leave the
+  // positive pair unconstrained — see CompiledQuery partitioning notes).
+  q << "PATTERN SEQ(Shelf s, !Checkout c, Exit e) "
+       "WHERE s.item == e.item AND s.item == c.item WITHIN "
+    << window;
+  return q.str();
+}
+
+std::string RfidWorkload::purchase_query(Timestamp window) const {
+  std::ostringstream q;
+  q << "PATTERN SEQ(Shelf s, Checkout c, Exit e) "
+       "WHERE s.item == c.item AND c.item == e.item WITHIN "
+    << window;
+  return q.str();
+}
+
+}  // namespace oosp

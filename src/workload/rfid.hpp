@@ -1,0 +1,60 @@
+// RFID retail workload — the paper's motivating application.
+//
+// Tagged items move through a store: a shelf reader sees the item, the
+// checkout reader sees it if it is paid for, and the exit reader sees it
+// leaving. The classic shoplifting query asks for items seen at a shelf
+// and at the exit with NO checkout reading in between:
+//
+//   PATTERN SEQ(Shelf s, !Checkout c, Exit e)
+//   WHERE s.item == c.item AND c.item == e.item
+//   WITHIN <window>
+//
+// Checkout readings travel through the store backbone and are the events
+// most prone to late arrival in practice — a late checkout reading makes
+// a naive engine raise a false shoplifting alarm, which is exactly the
+// phantom-result failure mode experiment R-T2 measures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "event/event.hpp"
+
+namespace oosp {
+
+struct RfidConfig {
+  std::size_t num_items = 2'000;
+  double shoplift_fraction = 0.05;  // items that skip checkout
+  Timestamp shelf_to_checkout_mean = 50;
+  Timestamp checkout_to_exit_mean = 30;
+  Timestamp item_arrival_gap = 7;  // mean gap between successive items' shelf reads
+  std::uint64_t seed = 7;
+};
+
+class RfidWorkload {
+ public:
+  explicit RfidWorkload(RfidConfig config);
+
+  const TypeRegistry& registry() const noexcept { return registry_; }
+  const RfidConfig& config() const noexcept { return config_; }
+
+  // ts-ordered stream of Shelf/Checkout/Exit readings.
+  std::vector<Event> generate();
+
+  // The shoplifting pattern; window should cover a full shelf→exit span.
+  std::string shoplifting_query(Timestamp window) const;
+
+  // Positive variant (no negation): items that did check out.
+  std::string purchase_query(Timestamp window) const;
+
+  std::size_t expected_shoplifted() const noexcept { return shoplifted_; }
+
+ private:
+  RfidConfig config_;
+  TypeRegistry registry_;
+  Rng rng_;
+  std::size_t shoplifted_ = 0;
+};
+
+}  // namespace oosp

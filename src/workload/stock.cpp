@@ -1,0 +1,69 @@
+#include "workload/stock.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+StockWorkload::StockWorkload(StockConfig config) : config_(config), rng_(config.seed) {
+  OOSP_REQUIRE(config_.num_symbols >= 1, "need at least one symbol");
+  OOSP_REQUIRE(config_.volatility > 0.0, "volatility must be positive");
+  registry_.register_type("Tick", Schema({{"sym", ValueType::kInt},
+                                          {"price", ValueType::kDouble},
+                                          {"volume", ValueType::kInt}}));
+}
+
+std::vector<Event> StockWorkload::generate() {
+  const TypeId tick = registry_.lookup("Tick");
+  std::vector<double> price(config_.num_symbols, config_.start_price);
+  std::vector<Event> out;
+  out.reserve(config_.num_ticks);
+  Timestamp ts = 0;
+  for (std::size_t i = 0; i < config_.num_ticks; ++i) {
+    const auto sym = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(config_.num_symbols) - 1));
+    price[sym] *= std::exp(rng_.normal(0.0, config_.volatility));
+    ts += std::max<Timestamp>(
+        1, static_cast<Timestamp>(std::llround(
+               rng_.exponential(1.0 / static_cast<double>(config_.mean_gap)))));
+    Event e;
+    e.type = tick;
+    e.id = static_cast<EventId>(i);
+    e.ts = ts;
+    e.attrs = {Value(static_cast<std::int64_t>(sym)), Value(price[sym]),
+               Value(rng_.uniform_int(1, 1'000))};
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string StockWorkload::vshape_query(Timestamp window) const {
+  std::ostringstream q;
+  q << "PATTERN SEQ(Tick a, Tick b, Tick c) "
+       "WHERE a.sym == b.sym AND b.sym == c.sym "
+       "AND a.price > b.price AND c.price > b.price WITHIN "
+    << window;
+  return q.str();
+}
+
+std::string StockWorkload::rising_query(std::size_t legs, Timestamp window) const {
+  OOSP_REQUIRE(legs >= 2, "rising pattern needs at least two legs");
+  std::ostringstream q;
+  q << "PATTERN SEQ(";
+  for (std::size_t i = 0; i < legs; ++i) {
+    if (i) q << ", ";
+    q << "Tick a" << i;
+  }
+  q << ") WHERE ";
+  for (std::size_t i = 1; i < legs; ++i) {
+    if (i > 1) q << " AND ";
+    q << "a" << (i - 1) << ".sym == a" << i << ".sym AND a" << (i - 1)
+      << ".price < a" << i << ".price";
+  }
+  q << " WITHIN " << window;
+  return q.str();
+}
+
+}  // namespace oosp

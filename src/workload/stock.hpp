@@ -1,0 +1,51 @@
+// Stock tick workload: per-symbol geometric random-walk prices.
+//
+// Demonstrates patterns where several steps bind the SAME event type
+// (every step is a Tick), exercising the multi-stack insertion path of
+// the engines. The canonical query is the V-shape (dip-and-recover):
+//
+//   PATTERN SEQ(Tick a, Tick b, Tick c)
+//   WHERE a.sym == b.sym AND b.sym == c.sym
+//     AND a.price > b.price AND c.price > b.price
+//   WITHIN <window>
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "event/event.hpp"
+
+namespace oosp {
+
+struct StockConfig {
+  std::size_t num_ticks = 10'000;
+  std::size_t num_symbols = 20;
+  double start_price = 100.0;
+  double volatility = 0.01;  // per-tick relative step
+  Timestamp mean_gap = 3;
+  std::uint64_t seed = 11;
+};
+
+class StockWorkload {
+ public:
+  explicit StockWorkload(StockConfig config);
+
+  const TypeRegistry& registry() const noexcept { return registry_; }
+  const StockConfig& config() const noexcept { return config_; }
+
+  std::vector<Event> generate();
+
+  // Dip-and-recover V-shape per symbol.
+  std::string vshape_query(Timestamp window) const;
+
+  // Monotone rise: k consecutive (in pattern order) rising ticks.
+  std::string rising_query(std::size_t legs, Timestamp window) const;
+
+ private:
+  StockConfig config_;
+  TypeRegistry registry_;
+  Rng rng_;
+};
+
+}  // namespace oosp

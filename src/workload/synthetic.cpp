@@ -1,0 +1,89 @@
+#include "workload/synthetic.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+SyntheticWorkload::SyntheticWorkload(SyntheticConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  OOSP_REQUIRE(config_.num_types >= 1, "need at least one type");
+  OOSP_REQUIRE(config_.key_cardinality >= 1, "need at least one key");
+  OOSP_REQUIRE(config_.mean_gap >= 1, "mean_gap must be at least 1");
+  OOSP_REQUIRE(config_.type_weights.empty() ||
+                   config_.type_weights.size() == config_.num_types,
+               "type_weights size must match num_types");
+  for (std::size_t i = 0; i < config_.num_types; ++i) {
+    type_ids_.push_back(registry_.register_type(
+        "T" + std::to_string(i),
+        Schema({{"key", ValueType::kInt}, {"val", ValueType::kInt}})));
+  }
+}
+
+std::vector<Event> SyntheticWorkload::generate(std::size_t count) {
+  std::vector<Event> out;
+  out.reserve(count);
+  const std::vector<double> uniform(config_.num_types, 1.0);
+  const std::vector<double>& weights =
+      config_.type_weights.empty() ? uniform : config_.type_weights;
+  for (std::size_t i = 0; i < count; ++i) {
+    Event e;
+    e.type = type_ids_[rng_.weighted_index(weights)];
+    e.id = next_id_++;
+    next_ts_ += std::max<Timestamp>(
+        1, static_cast<Timestamp>(std::llround(
+               rng_.exponential(1.0 / static_cast<double>(config_.mean_gap)))));
+    e.ts = next_ts_;
+    const std::int64_t key =
+        config_.key_skew > 0.0
+            ? static_cast<std::int64_t>(
+                  rng_.zipf(static_cast<std::uint64_t>(config_.key_cardinality),
+                            config_.key_skew)) -
+                  1
+            : rng_.uniform_int(0, config_.key_cardinality - 1);
+    e.attrs = {Value(key), Value(rng_.uniform_int(0, 999))};
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string SyntheticWorkload::seq_query(std::size_t len, bool keyed, Timestamp window,
+                                         std::int64_t min_val) const {
+  OOSP_REQUIRE(len >= 1 && len <= config_.num_types, "sequence length out of range");
+  std::ostringstream q;
+  q << "PATTERN SEQ(";
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i) q << ", ";
+    q << "T" << i << " a" << i;
+  }
+  q << ")";
+  bool where_started = false;
+  auto conj = [&]() -> std::ostringstream& {
+    q << (where_started ? " AND " : " WHERE ");
+    where_started = true;
+    return q;
+  };
+  if (keyed) {
+    for (std::size_t i = 1; i < len; ++i)
+      conj() << "a" << (i - 1) << ".key == a" << i << ".key";
+  }
+  if (min_val >= 0) conj() << "a0.val >= " << min_val;
+  q << " WITHIN " << window;
+  return q.str();
+}
+
+std::string SyntheticWorkload::negation_query(Timestamp window) const {
+  OOSP_REQUIRE(config_.num_types >= 3, "negation query needs three types");
+  std::ostringstream q;
+  // The positive join (a.key == c.key) must be stated directly: an
+  // equality chain through the negated binding would not constrain the
+  // positive match (see CompiledQuery partitioning notes).
+  q << "PATTERN SEQ(T0 a, !T1 b, T2 c) "
+       "WHERE a.key == c.key AND a.key == b.key WITHIN "
+    << window;
+  return q.str();
+}
+
+}  // namespace oosp

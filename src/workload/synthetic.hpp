@@ -1,0 +1,59 @@
+// Fully parameterized synthetic workload — the knob set behind most of
+// the reconstructed experiments (DESIGN.md §4).
+//
+// Events are drawn from `num_types` types T0…T{n−1}, each with schema
+// {key:int, val:int}. Occurrence timestamps advance by exponential gaps
+// (mean `mean_gap`); keys are drawn from [0, key_cardinality) with
+// optional Zipf skew; types are drawn from `type_weights` (uniform by
+// default). The canonical queries bind consecutive types T0→T1→…, with
+// or without an equi-join on `key`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "event/event.hpp"
+
+namespace oosp {
+
+struct SyntheticConfig {
+  std::size_t num_events = 10'000;
+  std::size_t num_types = 5;
+  std::int64_t key_cardinality = 100;
+  double key_skew = 0.0;  // Zipf exponent; 0 = uniform
+  Timestamp mean_gap = 10;
+  std::uint64_t seed = 1;
+  std::vector<double> type_weights;  // empty = uniform
+};
+
+class SyntheticWorkload {
+ public:
+  explicit SyntheticWorkload(SyntheticConfig config);
+
+  const TypeRegistry& registry() const noexcept { return registry_; }
+  const SyntheticConfig& config() const noexcept { return config_; }
+
+  // Generates a ts-ordered stream. Each call continues the id/ts
+  // sequence (events are globally unique across calls).
+  std::vector<Event> generate(std::size_t count);
+  std::vector<Event> generate() { return generate(config_.num_events); }
+
+  // PATTERN SEQ(T0 a0, …, T{len−1} a{len−1}) [WHERE key equi-join]
+  // [AND a0.val >= min_val] WITHIN window. Requires len <= num_types.
+  std::string seq_query(std::size_t len, bool keyed, Timestamp window,
+                        std::int64_t min_val = -1) const;
+
+  // PATTERN SEQ(T0 a, !T1 b, T2 c) keyed on `key` WITHIN window.
+  std::string negation_query(Timestamp window) const;
+
+ private:
+  SyntheticConfig config_;
+  TypeRegistry registry_;
+  Rng rng_;
+  Timestamp next_ts_ = 0;
+  EventId next_id_ = 0;
+  std::vector<TypeId> type_ids_;
+};
+
+}  // namespace oosp

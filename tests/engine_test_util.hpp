@@ -1,0 +1,68 @@
+// Shared helpers for the engine test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/engines.hpp"
+#include "engine/oracle/oracle.hpp"
+#include "event/event.hpp"
+#include "query/compiled.hpp"
+#include "runtime/verify.hpp"
+
+namespace oosp::testutil {
+
+// Registry with A/B/C/D{k:int, v:int}.
+inline TypeRegistry make_abcd_registry() {
+  TypeRegistry reg;
+  const Schema s({{"k", ValueType::kInt}, {"v", ValueType::kInt}});
+  for (const char* n : {"A", "B", "C", "D"}) reg.register_type(n, s);
+  return reg;
+}
+
+inline Event make_event(const TypeRegistry& reg, const char* type, EventId id,
+                        Timestamp ts, std::int64_t k = 0, std::int64_t v = 0) {
+  Event e;
+  e.type = reg.lookup(type);
+  e.id = id;
+  e.ts = ts;
+  e.attrs = {Value(k), Value(v)};
+  return e;
+}
+
+// Feeds `arrivals` (arrival order) through a fresh engine; returns
+// collected matches.
+inline std::vector<Match> run_engine(EngineKind kind, const CompiledQuery& q,
+                                     const std::vector<Event>& arrivals,
+                                     EngineOptions options = {}) {
+  CollectingSink sink;
+  const auto engine = make_engine(kind, q, sink, options);
+  for (const Event& e : arrivals) engine->on_event(e);
+  engine->finish();
+  return sink.matches();
+}
+
+inline std::vector<MatchKey> run_engine_keys(EngineKind kind, const CompiledQuery& q,
+                                             const std::vector<Event>& arrivals,
+                                             EngineOptions options = {}) {
+  CollectingSink sink;
+  const auto engine = make_engine(kind, q, sink, options);
+  for (const Event& e : arrivals) engine->on_event(e);
+  engine->finish();
+  return sink.sorted_keys();
+}
+
+// Asserts an engine run over `arrivals` reproduces the oracle exactly.
+inline void expect_exact(EngineKind kind, const CompiledQuery& q,
+                         const std::vector<Event>& arrivals, EngineOptions options = {},
+                         const char* context = "") {
+  const auto produced = run_engine(kind, q, arrivals, options);
+  const VerifyResult v = verify_against_oracle(q, arrivals, produced);
+  EXPECT_TRUE(v.exact()) << to_string(kind) << " " << context
+                         << ": expected=" << v.expected << " produced=" << v.produced
+                         << " missed=" << v.missed
+                         << " false_positives=" << v.false_positives;
+}
+
+}  // namespace oosp::testutil

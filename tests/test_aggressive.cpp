@@ -1,0 +1,157 @@
+// Unit + property tests: the aggressive output policy — optimistic
+// emission with retraction on late negatives.
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+#include "runtime/driver.hpp"
+#include "stream/disorder.hpp"
+#include "workload/synthetic.hpp"
+
+namespace oosp {
+namespace {
+
+using testutil::make_abcd_registry;
+using testutil::make_event;
+
+class AggressiveTest : public ::testing::Test {
+ protected:
+  AggressiveTest() : reg_(make_abcd_registry()) {}
+  Event ev(const char* t, EventId id, Timestamp ts, std::int64_t k = 0,
+           std::int64_t v = 0) {
+    return make_event(reg_, t, id, ts, k, v);
+  }
+  EngineOptions aggressive(Timestamp k) {
+    EngineOptions o;
+    o.slack = k;
+    o.aggressive_negation = true;
+    return o;
+  }
+  TypeRegistry reg_;
+};
+
+TEST_F(AggressiveTest, EmitsImmediatelyWithoutWaitingForSeal) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kOoo, q, sink, aggressive(1'000));
+  engine->on_event(ev("A", 0, 10));
+  engine->on_event(ev("C", 1, 30));
+  // Conservative would pend (huge slack); aggressive emits now with zero delay.
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.matches()[0].detection_delay(), 0);
+  EXPECT_EQ(engine->name(), "ooo-aggressive");
+}
+
+TEST_F(AggressiveTest, LateNegativeTriggersRetraction) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kOoo, q, sink, aggressive(100));
+  engine->on_event(ev("A", 0, 10));
+  engine->on_event(ev("C", 1, 30));
+  ASSERT_EQ(sink.size(), 1u);
+  engine->on_event(ev("B", 2, 20));  // invalidates the emitted match
+  ASSERT_EQ(sink.retracted().size(), 1u);
+  EXPECT_EQ(match_key(sink.retracted()[0]), (MatchKey{0, 1}));
+  engine->finish();
+  EXPECT_TRUE(sink.net_sorted_keys().empty());
+  EXPECT_EQ(engine->stats().matches_retracted, 1u);
+}
+
+TEST_F(AggressiveTest, SealedMatchCannotBeRetracted) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kOoo, q, sink, aggressive(50));
+  engine->on_event(ev("A", 0, 10));
+  engine->on_event(ev("C", 1, 30));
+  engine->on_event(ev("D", 2, 200));  // clock >> 30 + K: interval seals
+  // A (contract-violating) extremely late B must not retract anything.
+  engine->on_event(ev("B", 3, 20));
+  engine->finish();
+  EXPECT_EQ(sink.retracted().size(), 0u);
+  EXPECT_EQ(sink.net_sorted_keys().size(), 1u);
+}
+
+TEST_F(AggressiveTest, RetractionRespectsNegationPredicates) {
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, !B b, C c) WHERE a.k == c.k AND a.k == b.k WITHIN 100", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kOoo, q, sink, aggressive(100));
+  engine->on_event(ev("A", 0, 10, 1));
+  engine->on_event(ev("C", 1, 30, 1));
+  ASSERT_EQ(sink.size(), 1u);
+  engine->on_event(ev("B", 2, 20, 9));  // wrong key: no retraction
+  EXPECT_EQ(sink.retracted().size(), 0u);
+  engine->on_event(ev("B", 3, 25, 1));  // right key: retract
+  EXPECT_EQ(sink.retracted().size(), 1u);
+}
+
+TEST_F(AggressiveTest, NetResultEqualsConservativeAndOracle) {
+  SyntheticWorkload wl({.num_events = 3'000, .num_types = 3, .key_cardinality = 12,
+                        .mean_gap = 4, .seed = 71});
+  const auto ordered = wl.generate();
+  DisorderInjector inj(LatencyModel::uniform(150), 0.3, 8);
+  const auto arrivals = inj.deliver(ordered);
+  const CompiledQuery q = compile_query(wl.negation_query(200), wl.registry());
+
+  EngineOptions copt;
+  copt.slack = inj.slack_bound();
+  EngineOptions aopt = copt;
+  aopt.aggressive_negation = true;
+
+  CollectingSink conservative, aggressive_sink;
+  {
+    const auto e = make_engine(EngineKind::kOoo, q, conservative, copt);
+    for (const Event& ev2 : arrivals) e->on_event(ev2);
+    e->finish();
+  }
+  {
+    const auto e = make_engine(EngineKind::kOoo, q, aggressive_sink, aopt);
+    for (const Event& ev2 : arrivals) e->on_event(ev2);
+    e->finish();
+    EXPECT_GT(e->stats().matches_retracted, 0u) << "scenario should force retractions";
+  }
+  const auto truth = oracle_keys(q, arrivals);
+  EXPECT_EQ(conservative.sorted_keys(), truth);
+  EXPECT_EQ(aggressive_sink.net_sorted_keys(), truth);
+  // Aggressive emissions = net + retracted.
+  EXPECT_EQ(aggressive_sink.size(),
+            truth.size() + aggressive_sink.retracted().size());
+}
+
+TEST_F(AggressiveTest, AggressiveNeverSlowerToReport) {
+  // Mean detection delay under the aggressive policy must be <= the
+  // conservative policy's on the same stream (it never waits for seals).
+  SyntheticWorkload wl({.num_events = 4'000, .num_types = 3, .key_cardinality = 10,
+                        .mean_gap = 4, .seed = 72});
+  const auto ordered = wl.generate();
+  DisorderInjector inj(LatencyModel::uniform(300), 0.15, 9);
+  const auto arrivals = inj.deliver(ordered);
+  const CompiledQuery q = compile_query(wl.negation_query(250), wl.registry());
+
+  DriverConfig conservative;
+  conservative.kind = EngineKind::kOoo;
+  conservative.options.slack = inj.slack_bound();
+  DriverConfig aggressive_cfg = conservative;
+  aggressive_cfg.options.aggressive_negation = true;
+
+  const RunResult rc = run_stream(q, arrivals, conservative);
+  const RunResult ra = run_stream(q, arrivals, aggressive_cfg);
+  EXPECT_LE(ra.delay.mean(), rc.delay.mean());
+  EXPECT_GT(rc.delay.mean(), 0.0);
+  EXPECT_GE(ra.matches, rc.matches);  // extra (later-retracted) emissions
+  EXPECT_EQ(ra.matches - ra.retractions, rc.matches);
+}
+
+TEST_F(AggressiveTest, PuresPositiveQueriesUnaffected) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kOoo, q, sink, aggressive(100));
+  engine->on_event(ev("A", 0, 10));
+  engine->on_event(ev("B", 1, 20));
+  engine->finish();
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.retracted().size(), 0u);
+  EXPECT_EQ(engine->stats().pending_peak, 0u);
+}
+
+}  // namespace
+}  // namespace oosp

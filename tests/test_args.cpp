@@ -1,0 +1,109 @@
+// Unit tests: the command-line argument parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/args.hpp"
+
+namespace oosp {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("test tool");
+  p.add_string("name", "default", "a string");
+  p.add_int("count", 7, "an int");
+  p.add_double("ratio", 0.5, "a double");
+  p.add_flag("verbose", "a flag");
+  return p;
+}
+
+bool parse(ArgParser& p, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {}));
+  EXPECT_EQ(p.get_string("name"), "default");
+  EXPECT_EQ(p.get_int("count"), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.5);
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--name", "abc", "--count", "-3", "--ratio", "1.25",
+                        "--verbose"}));
+  EXPECT_EQ(p.get_string("name"), "abc");
+  EXPECT_EQ(p.get_int("count"), -3);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 1.25);
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(ArgParser, EqualsSeparatedValues) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--name=xy", "--count=42"}));
+  EXPECT_EQ(p.get_string("name"), "xy");
+  EXPECT_EQ(p.get_int("count"), 42);
+}
+
+TEST(ArgParser, HelpShortCircuits) {
+  ArgParser p = make_parser();
+  EXPECT_FALSE(parse(p, {"--help"}));
+  ArgParser q = make_parser();
+  EXPECT_FALSE(parse(q, {"-h"}));
+}
+
+TEST(ArgParser, Errors) {
+  {
+    ArgParser p = make_parser();
+    EXPECT_THROW(parse(p, {"--nope", "1"}), std::invalid_argument);
+  }
+  {
+    ArgParser p = make_parser();
+    EXPECT_THROW(parse(p, {"--count", "abc"}), std::invalid_argument);
+  }
+  {
+    ArgParser p = make_parser();
+    EXPECT_THROW(parse(p, {"--ratio", "x"}), std::invalid_argument);
+  }
+  {
+    ArgParser p = make_parser();
+    EXPECT_THROW(parse(p, {"--count"}), std::invalid_argument);  // missing value
+  }
+  {
+    ArgParser p = make_parser();
+    EXPECT_THROW(parse(p, {"--verbose=1"}), std::invalid_argument);  // flag w/ value
+  }
+  {
+    ArgParser p = make_parser();
+    EXPECT_THROW(parse(p, {"positional"}), std::invalid_argument);
+  }
+  {
+    ArgParser p = make_parser();
+    ASSERT_TRUE(parse(p, {}));
+    EXPECT_THROW(p.get_int("name"), std::invalid_argument);  // wrong type access
+    EXPECT_THROW(p.get_string("missing"), std::invalid_argument);
+  }
+}
+
+TEST(ArgParser, LastValueWins) {
+  ArgParser p = make_parser();
+  ASSERT_TRUE(parse(p, {"--count", "1", "--count", "2"}));
+  EXPECT_EQ(p.get_int("count"), 2);
+}
+
+TEST(ArgParser, UsageListsOptions) {
+  ArgParser p = make_parser();
+  std::ostringstream os;
+  p.print_usage(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("--name"), std::string::npos);
+  EXPECT_NE(s.find("--count"), std::string::npos);
+  EXPECT_NE(s.find("default: 7"), std::string::npos);
+  EXPECT_NE(s.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oosp

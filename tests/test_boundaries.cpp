@@ -1,0 +1,182 @@
+// Boundary-exactness tests: every threshold in the system (window span,
+// purge horizon, seal point, buffer release, contract bound) is pinned
+// at its exact off-by-one edges, since these are precisely the places a
+// reimplementation silently diverges.
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+
+namespace oosp {
+namespace {
+
+using testutil::make_abcd_registry;
+using testutil::make_event;
+using testutil::run_engine_keys;
+
+class BoundaryTest : public ::testing::Test {
+ protected:
+  BoundaryTest() : reg_(make_abcd_registry()) {}
+  Event ev(const char* t, EventId id, Timestamp ts, std::int64_t k = 0) {
+    return make_event(reg_, t, id, ts, k);
+  }
+  EngineOptions slack(Timestamp k, std::size_t purge = 1) {
+    EngineOptions o;
+    o.slack = k;
+    o.purge_period = purge;
+    return o;
+  }
+  TypeRegistry reg_;
+};
+
+TEST_F(BoundaryTest, WindowSpanExactlyWIncluded) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
+  for (const EngineKind kind : {EngineKind::kInOrder, EngineKind::kNfa, EngineKind::kOoo}) {
+    EXPECT_EQ(run_engine_keys(kind, q, {ev("A", 0, 100), ev("B", 1, 110)}).size(), 1u)
+        << to_string(kind);
+    EXPECT_EQ(run_engine_keys(kind, q, {ev("A", 0, 100), ev("B", 1, 111)}).size(), 0u)
+        << to_string(kind);
+  }
+}
+
+TEST_F(BoundaryTest, OooPurgeKeepsInstanceAtExactHorizon) {
+  // Purge discards ts < clock − K − W strictly. An A exactly at the
+  // horizon must survive and still join a maximally-late, maximally-
+  // distant B.
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(5, 1));
+  engine->on_event(ev("A", 0, 100));
+  engine->on_event(ev("D", 1, 115));  // clock=115: horizon = 115−5−10 = 100
+  engine->on_event(ev("B", 2, 110));  // late by 5 (== K), span == 10 (== W)
+  engine->finish();
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(engine->stats().contract_violations, 0u);
+}
+
+TEST_F(BoundaryTest, OooPurgeDropsInstanceJustBelowHorizon) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(5, 1));
+  engine->on_event(ev("A", 0, 99));
+  engine->on_event(ev("D", 1, 115));  // horizon 100 > 99: A purged
+  EXPECT_EQ(engine->stats().instances_purged, 1u);
+  // No contract-violating resurrection is possible: any B joining A@99
+  // within W=10 has ts <= 109 < clock − K = 110 → would itself violate
+  // the contract. The purge was safe by construction.
+}
+
+TEST_F(BoundaryTest, SealFiresExactlyAtIntervalEndPlusK) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(50, 0));
+  engine->on_event(ev("A", 0, 10));
+  engine->on_event(ev("C", 1, 30));
+  engine->on_event(ev("D", 2, 79));  // clock = 79 < 30 + 50: not sealed
+  EXPECT_EQ(sink.size(), 0u);
+  engine->on_event(ev("D", 3, 80));  // clock = 80 == 30 + 50: sealed
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST_F(BoundaryTest, NegativeExactlyAtSealBoundaryStillCancels) {
+  // A violating B with lateness exactly K must arrive before (or at) the
+  // event that seals its interval, and must still cancel the match.
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(50, 0));
+  engine->on_event(ev("A", 0, 10));
+  engine->on_event(ev("C", 1, 30));
+  engine->on_event(ev("D", 2, 79));
+  engine->on_event(ev("B", 3, 29));  // lateness 50 == K: legal, cancels
+  engine->on_event(ev("D", 4, 200));
+  engine->finish();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(engine->stats().contract_violations, 0u);
+  EXPECT_EQ(engine->stats().matches_cancelled, 1u);
+}
+
+TEST_F(BoundaryTest, ContractViolationCountedAboveSlackOnly) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(10));
+  engine->on_event(ev("D", 0, 100));
+  engine->on_event(ev("D", 1, 90));  // lateness 10 == K: allowed
+  EXPECT_EQ(engine->stats().contract_violations, 0u);
+  engine->on_event(ev("D", 2, 89));  // lateness 11 > K: violation
+  EXPECT_EQ(engine->stats().contract_violations, 1u);
+  EXPECT_EQ(engine->stats().late_events, 2u);
+}
+
+TEST_F(BoundaryTest, KSlackCountsContractViolationsToo) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kKSlackInOrder, q, sink, slack(10));
+  engine->on_event(ev("D", 0, 100));
+  engine->on_event(ev("D", 1, 80));
+  EXPECT_EQ(engine->stats().contract_violations, 1u);
+}
+
+TEST_F(BoundaryTest, KSlackReleaseBoundary) {
+  // An event is released once clock − K >= its ts; with equal release
+  // instants, ties release in (ts, id) order into the inner engine.
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kKSlackInOrder, q, sink, slack(20));
+  engine->on_event(ev("B", 1, 30));
+  engine->on_event(ev("A", 0, 30));  // tie ts, smaller id: must sort first…
+  // …but equal timestamps never sequence, so no match from these two.
+  engine->on_event(ev("A", 2, 31));
+  engine->on_event(ev("B", 3, 40));
+  engine->on_event(ev("D", 4, 60));  // releases everything ts <= 40
+  EXPECT_EQ(sink.size(), 2u);        // (A@30,B@40) and (A@31,B@40)
+  engine->finish();
+  EXPECT_EQ(sink.size(), 2u);
+}
+
+TEST_F(BoundaryTest, ZeroSlackOnOrderedStreamBehavesLikeInOrder) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 50", reg_);
+  std::vector<Event> events;
+  for (EventId i = 0; i < 60; ++i)
+    events.push_back(ev(i % 2 ? "B" : "A", i, static_cast<Timestamp>(i + 1) * 3));
+  EXPECT_EQ(run_engine_keys(EngineKind::kOoo, q, events, slack(0)),
+            run_engine_keys(EngineKind::kInOrder, q, events));
+}
+
+TEST_F(BoundaryTest, NegativeTimestampsWork) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
+  const auto keys = run_engine_keys(EngineKind::kOoo, q,
+                                    {ev("B", 0, -50), ev("A", 1, -120)}, slack(100));
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (MatchKey{1, 0}));
+}
+
+TEST_F(BoundaryTest, WindowOfOneTick) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 1", reg_);
+  for (const EngineKind kind : {EngineKind::kInOrder, EngineKind::kOoo}) {
+    EXPECT_EQ(run_engine_keys(kind, q, {ev("A", 0, 5), ev("B", 1, 6)}).size(), 1u);
+    EXPECT_EQ(run_engine_keys(kind, q, {ev("A", 0, 5), ev("B", 1, 7)}).size(), 0u);
+  }
+}
+
+TEST_F(BoundaryTest, StatsAccountingConsistentAfterRun) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, !B b, C c) WHERE a.k == c.k AND a.k == b.k "
+                    "WITHIN 30",
+                    reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(20, 4));
+  EventId id = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Timestamp base = i * 7;
+    engine->on_event(ev(i % 3 == 0 ? "A" : (i % 3 == 1 ? "B" : "C"), id++, base, i % 4));
+  }
+  engine->finish();
+  const auto s = engine->stats();
+  EXPECT_EQ(s.events_seen, 500u);
+  EXPECT_EQ(s.instances_inserted, s.instances_purged + s.current_instances);
+  EXPECT_GE(s.footprint_peak, s.footprint());
+  EXPECT_EQ(s.pending_matches, 0u);  // finish() drained everything
+  EXPECT_EQ(s.matches_emitted, sink.size());
+}
+
+}  // namespace
+}  // namespace oosp

@@ -1,0 +1,229 @@
+// Unit tests: query analyzer / compiled form (query/compiled.hpp).
+#include <gtest/gtest.h>
+
+#include "query/compiled.hpp"
+#include "query/parser.hpp"
+
+namespace oosp {
+namespace {
+
+class CompiledTest : public ::testing::Test {
+ protected:
+  CompiledTest() {
+    const Schema full({{"k", ValueType::kInt},
+                       {"v", ValueType::kInt},
+                       {"s", ValueType::kString},
+                       {"f", ValueType::kDouble},
+                       {"b", ValueType::kBool}});
+    for (const char* name : {"A", "B", "C", "D"}) reg_.register_type(name, full);
+    reg_.register_type("Other", Schema({{"k", ValueType::kDouble}}));
+  }
+
+  TypeRegistry reg_;
+};
+
+TEST_F(CompiledTest, ResolvesStepsAndTypes) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b, A c) WITHIN 10", reg_);
+  EXPECT_EQ(q.num_steps(), 3u);
+  EXPECT_EQ(q.num_positive(), 3u);
+  EXPECT_EQ(q.window(), 10);
+  EXPECT_EQ(q.trigger_step(), 2u);
+  EXPECT_EQ(q.first_step(), 0u);
+  const auto a_steps = q.steps_for_type(reg_.lookup("A"));
+  ASSERT_EQ(a_steps.size(), 2u);
+  EXPECT_EQ(a_steps[0], 0u);
+  EXPECT_EQ(a_steps[1], 2u);
+  EXPECT_TRUE(q.relevant(reg_.lookup("B")));
+  EXPECT_FALSE(q.relevant(reg_.lookup("D")));
+}
+
+TEST_F(CompiledTest, NegatedStepAdjacency) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, !B b, !C c, D d) WITHIN 10", reg_);
+  EXPECT_TRUE(q.step(1).negated);
+  EXPECT_TRUE(q.step(2).negated);
+  EXPECT_EQ(q.step(1).prev_positive, 0u);
+  EXPECT_EQ(q.step(1).next_positive, 3u);
+  EXPECT_EQ(q.step(2).prev_positive, 0u);
+  EXPECT_EQ(q.step(2).next_positive, 3u);
+  EXPECT_EQ(q.positive_steps(), (std::vector<std::size_t>{0, 3}));
+}
+
+TEST_F(CompiledTest, RejectsBoundaryNegation) {
+  EXPECT_THROW(compile_query("PATTERN SEQ(!A a, B b) WITHIN 5", reg_),
+               QueryAnalysisError);
+  EXPECT_THROW(compile_query("PATTERN SEQ(A a, !B b) WITHIN 5", reg_),
+               QueryAnalysisError);
+  EXPECT_THROW(compile_query("PATTERN SEQ(!A a) WITHIN 5", reg_), QueryAnalysisError);
+}
+
+TEST_F(CompiledTest, RejectsUnknownTypeBindingAttr) {
+  EXPECT_THROW(compile_query("PATTERN SEQ(Zed z) WITHIN 5", reg_), QueryAnalysisError);
+  EXPECT_THROW(compile_query("PATTERN SEQ(A a, A a) WITHIN 5", reg_),
+               QueryAnalysisError);
+  EXPECT_THROW(compile_query("PATTERN SEQ(A a) WHERE x.k == 1 WITHIN 5", reg_),
+               QueryAnalysisError);
+  EXPECT_THROW(compile_query("PATTERN SEQ(A a) WHERE a.nope == 1 WITHIN 5", reg_),
+               QueryAnalysisError);
+}
+
+TEST_F(CompiledTest, RejectsIncomparableTypes) {
+  EXPECT_THROW(compile_query("PATTERN SEQ(A a) WHERE a.k == 's' WITHIN 5", reg_),
+               QueryAnalysisError);
+  EXPECT_THROW(compile_query("PATTERN SEQ(A a) WHERE a.b == 1 WITHIN 5", reg_),
+               QueryAnalysisError);
+  EXPECT_THROW(compile_query("PATTERN SEQ(A a, B b) WHERE a.s == b.f WITHIN 5", reg_),
+               QueryAnalysisError);
+}
+
+TEST_F(CompiledTest, NumericCrossTypeComparisonAllowed) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a) WHERE a.k == a.f AND a.f > 2 WITHIN 5", reg_);
+  EXPECT_EQ(q.predicates().size(), 2u);
+}
+
+TEST_F(CompiledTest, ConjunctSplitting) {
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, B b) WHERE a.k == b.k AND a.v > 1 AND (b.v < 2 OR b.v > 7) "
+      "WITHIN 5",
+      reg_);
+  EXPECT_EQ(q.predicates().size(), 3u);
+  // a.v > 1 and the OR-group are single-step locals.
+  EXPECT_EQ(q.step(0).local_predicates.size(), 1u);
+  EXPECT_EQ(q.step(1).local_predicates.size(), 1u);
+  // The join conjunct references both.
+  bool found_join = false;
+  for (const auto& p : q.predicates())
+    if (p.steps().size() == 2) found_join = true;
+  EXPECT_TRUE(found_join);
+}
+
+TEST_F(CompiledTest, OrIsNotSplit) {
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, B b) WHERE a.v > 1 OR b.v > 1 WITHIN 5", reg_);
+  ASSERT_EQ(q.predicates().size(), 1u);
+  EXPECT_EQ(q.predicates()[0].steps().size(), 2u);
+}
+
+TEST_F(CompiledTest, PredicateStepsSortedAndFlags) {
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, !B b, C c) WHERE c.k == a.k AND b.k == a.k WITHIN 5", reg_);
+  const auto& preds = q.predicates();
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_EQ(preds[0].steps(), (std::vector<std::size_t>{0, 2}));
+  EXPECT_TRUE(preds[0].positive_only());
+  EXPECT_EQ(preds[1].steps(), (std::vector<std::size_t>{0, 1}));
+  EXPECT_FALSE(preds[1].positive_only());
+  EXPECT_TRUE(preds[1].references(1));
+  EXPECT_FALSE(preds[1].references(2));
+}
+
+TEST_F(CompiledTest, RejectsPredicateOverTwoNegatedSteps) {
+  EXPECT_THROW(
+      compile_query("PATTERN SEQ(A a, !B b, !C c, D d) WHERE b.k == c.k WITHIN 5", reg_),
+      QueryAnalysisError);
+}
+
+TEST_F(CompiledTest, RejectsLiteralOnlyPredicate) {
+  EXPECT_THROW(compile_query("PATTERN SEQ(A a) WHERE 1 == 1 WITHIN 5", reg_),
+               QueryAnalysisError);
+}
+
+TEST_F(CompiledTest, PartitionKeyDetected) {
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, B b, C c) WHERE a.k == b.k AND b.k == c.k WITHIN 5", reg_);
+  EXPECT_TRUE(q.partitionable());
+  EXPECT_EQ(q.partition_slots(), (std::vector<std::size_t>{0, 0, 0}));
+}
+
+TEST_F(CompiledTest, NegatedStepAttachesToPositiveClass) {
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, !B b, C c) WHERE a.k == c.k AND a.k == b.k WITHIN 5", reg_);
+  EXPECT_TRUE(q.partitionable());
+  EXPECT_EQ(q.partition_slots()[0], 0u);
+  EXPECT_EQ(q.partition_slots()[1], 0u);
+  EXPECT_EQ(q.partition_slots()[2], 0u);
+}
+
+TEST_F(CompiledTest, ChainThroughNegatedStepIsNotPartitionable) {
+  // a.k == b.k AND b.k == c.k with !B does NOT imply a.k == c.k for a
+  // match (no B need exist), so no sound partition key exists.
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, !B b, C c) WHERE a.k == b.k AND b.k == c.k WITHIN 5", reg_);
+  EXPECT_FALSE(q.partitionable());
+}
+
+TEST_F(CompiledTest, NoPartitionKeyWhenChainBroken) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b, C c) WHERE a.k == b.k WITHIN 5", reg_);
+  EXPECT_FALSE(q.partitionable());
+}
+
+TEST_F(CompiledTest, NoPartitionKeyAcrossDifferentStaticTypes) {
+  // A.k is int, Other.k is double: equality is legal but not partitionable.
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, Other o) WHERE a.k == o.k WITHIN 5", reg_);
+  EXPECT_FALSE(q.partitionable());
+}
+
+TEST_F(CompiledTest, NoPartitionKeyFromNonEqOrLiteral) {
+  EXPECT_FALSE(compile_query("PATTERN SEQ(A a, B b) WHERE a.k <= b.k WITHIN 5", reg_)
+                   .partitionable());
+  EXPECT_FALSE(
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.k == 3 AND b.k == 3 WITHIN 5", reg_)
+          .partitionable());
+}
+
+TEST_F(CompiledTest, PartitionKeyOnDifferentSlots) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.k == b.v WITHIN 5", reg_);
+  EXPECT_TRUE(q.partitionable());
+  EXPECT_EQ(q.partition_slots()[0], 0u);
+  EXPECT_EQ(q.partition_slots()[1], 1u);
+}
+
+TEST_F(CompiledTest, SingleStepQueryIsPartitionableTrivially) {
+  // No equality conjuncts at all → no class covers the positive step.
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a) WITHIN 5", reg_);
+  EXPECT_FALSE(q.partitionable());
+}
+
+TEST_F(CompiledTest, PredicateEvaluation) {
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, B b) WHERE a.k == b.k AND a.f < b.f WITHIN 5", reg_);
+  Event ea, eb;
+  ea.attrs = {Value(1), Value(0), Value("x"), Value(1.5), Value(true)};
+  eb.attrs = {Value(1), Value(0), Value("y"), Value(2.5), Value(false)};
+  std::vector<const Event*> b{&ea, &eb};
+  for (const auto& p : q.predicates()) EXPECT_TRUE(p.eval(b));
+  eb.attrs[0] = Value(2);
+  EXPECT_FALSE(q.predicates()[0].eval(b));
+}
+
+TEST_F(CompiledTest, NotAndOrEvaluation) {
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a) WHERE NOT (a.v < 5 OR a.s == 'bad') WITHIN 5", reg_);
+  Event e;
+  e.attrs = {Value(0), Value(9), Value("good"), Value(0.0), Value(false)};
+  std::vector<const Event*> b{&e};
+  EXPECT_TRUE(q.predicates()[0].eval(b));
+  e.attrs[1] = Value(3);
+  EXPECT_FALSE(q.predicates()[0].eval(b));
+  e.attrs[1] = Value(9);
+  e.attrs[2] = Value("bad");
+  EXPECT_FALSE(q.predicates()[0].eval(b));
+}
+
+TEST_F(CompiledTest, QueryTextPreserved) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 5", reg_);
+  EXPECT_NE(q.text().find("PATTERN SEQ(A a, B b)"), std::string::npos);
+}
+
+TEST_F(CompiledTest, EmptyPatternRejected) {
+  ParsedQuery p;
+  p.window = 5;
+  EXPECT_THROW(compile_query(p, reg_), QueryAnalysisError);
+}
+
+}  // namespace
+}  // namespace oosp

@@ -1,0 +1,145 @@
+// Unit tests: schemas, the type registry, events and the builder.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "event/event.hpp"
+#include "event/schema.hpp"
+
+namespace oosp {
+namespace {
+
+Schema item_schema() {
+  return Schema({{"item", ValueType::kInt}, {"price", ValueType::kDouble}});
+}
+
+TEST(Schema, SlotLookup) {
+  const Schema s = item_schema();
+  EXPECT_EQ(s.field_count(), 2u);
+  EXPECT_EQ(s.slot("item"), 0u);
+  EXPECT_EQ(s.slot("price"), 1u);
+  EXPECT_EQ(s.slot("missing"), Schema::npos);
+  EXPECT_EQ(s.field(0).name, "item");
+  EXPECT_EQ(s.field(1).type, ValueType::kDouble);
+}
+
+TEST(Schema, RejectsDuplicateFields) {
+  EXPECT_THROW(Schema({{"a", ValueType::kInt}, {"a", ValueType::kInt}}),
+               std::invalid_argument);
+}
+
+TEST(Schema, RejectsUnnamedField) {
+  EXPECT_THROW(Schema({{"", ValueType::kInt}}), std::invalid_argument);
+}
+
+TEST(Schema, FieldOutOfRangeThrows) {
+  EXPECT_THROW(item_schema().field(2), std::invalid_argument);
+}
+
+TEST(TypeRegistry, RegisterAndLookup) {
+  TypeRegistry reg;
+  const TypeId a = reg.register_type("A", item_schema());
+  const TypeId b = reg.register_type("B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.lookup("A"), a);
+  EXPECT_EQ(reg.lookup("B"), b);
+  EXPECT_EQ(reg.lookup("C"), kInvalidType);
+  EXPECT_TRUE(reg.contains("A"));
+  EXPECT_FALSE(reg.contains("C"));
+  EXPECT_EQ(reg.name(a), "A");
+  EXPECT_EQ(reg.schema(a).field_count(), 2u);
+  EXPECT_EQ(reg.schema(b).field_count(), 0u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(TypeRegistry, ReRegisterSameSchemaIsIdempotent) {
+  TypeRegistry reg;
+  const TypeId a1 = reg.register_type("A", item_schema());
+  const TypeId a2 = reg.register_type("A", item_schema());
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(TypeRegistry, ReRegisterDifferentSchemaThrows) {
+  TypeRegistry reg;
+  reg.register_type("A", item_schema());
+  EXPECT_THROW(reg.register_type("A", Schema({{"x", ValueType::kInt}})),
+               std::invalid_argument);
+  EXPECT_THROW(reg.register_type("A"), std::invalid_argument);
+}
+
+TEST(TypeRegistry, EmptyNameThrows) {
+  TypeRegistry reg;
+  EXPECT_THROW(reg.register_type(""), std::invalid_argument);
+}
+
+TEST(EventBuilder, BuildsCompleteEvent) {
+  TypeRegistry reg;
+  reg.register_type("Sale", item_schema());
+  const Event e = EventBuilder(reg, "Sale")
+                      .ts(100)
+                      .id(7)
+                      .set("item", 42)
+                      .set("price", 9.99)
+                      .build();
+  EXPECT_EQ(e.ts, 100);
+  EXPECT_EQ(e.id, 7u);
+  EXPECT_EQ(e.attr(0).as_int(), 42);
+  EXPECT_DOUBLE_EQ(e.attr(1).as_double(), 9.99);
+}
+
+TEST(EventBuilder, UnknownTypeThrows) {
+  TypeRegistry reg;
+  EXPECT_THROW(EventBuilder(reg, "Nope"), std::invalid_argument);
+}
+
+TEST(EventBuilder, UnknownFieldThrows) {
+  TypeRegistry reg;
+  reg.register_type("Sale", item_schema());
+  EXPECT_THROW(EventBuilder(reg, "Sale").set("bogus", 1), std::invalid_argument);
+}
+
+TEST(EventBuilder, FieldTypeMismatchThrows) {
+  TypeRegistry reg;
+  reg.register_type("Sale", item_schema());
+  EXPECT_THROW(EventBuilder(reg, "Sale").set("item", 1.5), std::invalid_argument);
+}
+
+TEST(EventBuilder, MissingFieldThrows) {
+  TypeRegistry reg;
+  reg.register_type("Sale", item_schema());
+  EXPECT_THROW(EventBuilder(reg, "Sale").set("item", 1).build(), std::invalid_argument);
+}
+
+TEST(Event, AttrOutOfRangeThrows) {
+  Event e;
+  e.attrs = {Value(1)};
+  EXPECT_THROW(e.attr(1), std::invalid_argument);
+}
+
+TEST(Event, TsIdLessOrdersByTsThenId) {
+  Event a, b;
+  a.ts = 1;
+  a.id = 5;
+  b.ts = 2;
+  b.id = 1;
+  EXPECT_TRUE(TsIdLess{}(a, b));
+  b.ts = 1;
+  EXPECT_TRUE(TsIdLess{}(b, a));  // same ts, smaller id first
+  EXPECT_FALSE(TsIdLess{}(a, a));
+}
+
+TEST(Event, StreamOutput) {
+  Event e;
+  e.type = 3;
+  e.id = 9;
+  e.ts = 44;
+  e.attrs = {Value(1), Value("x")};
+  std::ostringstream os;
+  os << e;
+  EXPECT_NE(os.str().find("id=9"), std::string::npos);
+  EXPECT_NE(os.str().find("ts=44"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oosp

@@ -1,0 +1,43 @@
+// Unit tests: EXPLAIN output of compiled queries.
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+#include "query/explain.hpp"
+
+namespace oosp {
+namespace {
+
+using testutil::make_abcd_registry;
+
+TEST(Explain, DescribesStepsTriggerAndLocals) {
+  TypeRegistry reg = make_abcd_registry();
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, B b) WHERE a.k == b.k AND b.v > 3 WITHIN 50", reg);
+  const std::string s = explain(q, reg);
+  EXPECT_NE(s.find("window:  50"), std::string::npos);
+  EXPECT_NE(s.find("[0] A a"), std::string::npos);
+  EXPECT_NE(s.find("[1] B b  (trigger: last positive step)"), std::string::npos);
+  EXPECT_NE(s.find("scan-time filters: [b.v > 3]"), std::string::npos);
+  EXPECT_NE(s.find("[a.k == b.k] over steps {0,1}"), std::string::npos);
+  EXPECT_NE(s.find("partitioning: ENABLED"), std::string::npos);
+  EXPECT_NE(s.find("keyed on k"), std::string::npos);
+}
+
+TEST(Explain, DescribesNegationInterval) {
+  TypeRegistry reg = make_abcd_registry();
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, !B b, C c) WHERE a.k == c.k AND a.k == b.k WITHIN 90", reg);
+  const std::string s = explain(q, reg);
+  EXPECT_NE(s.find("NEGATED: no match in (a.ts, c.ts)"), std::string::npos);
+  EXPECT_NE(s.find("(negation check)"), std::string::npos);
+  EXPECT_NE(s.find("partitioning: ENABLED"), std::string::npos);
+}
+
+TEST(Explain, ReportsMissingPartitionKey) {
+  TypeRegistry reg = make_abcd_registry();
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 50", reg);
+  EXPECT_NE(explain(q, reg).find("partitioning: none"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace oosp

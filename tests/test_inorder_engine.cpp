@@ -1,0 +1,188 @@
+// Unit tests: in-order SSC engine on ts-ordered streams (its contract),
+// plus demonstrations of its documented failure modes under OOO input.
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+
+namespace oosp {
+namespace {
+
+using testutil::expect_exact;
+using testutil::make_abcd_registry;
+using testutil::make_event;
+using testutil::run_engine;
+using testutil::run_engine_keys;
+
+class InOrderEngineTest : public ::testing::Test {
+ protected:
+  InOrderEngineTest() : reg_(make_abcd_registry()) {}
+  Event ev(const char* t, EventId id, Timestamp ts, std::int64_t k = 0,
+           std::int64_t v = 0) {
+    return make_event(reg_, t, id, ts, k, v);
+  }
+  TypeRegistry reg_;
+};
+
+TEST_F(InOrderEngineTest, BasicSequence) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
+  const auto keys = run_engine_keys(
+      EngineKind::kInOrder, q,
+      {ev("A", 0, 10), ev("B", 1, 20), ev("A", 2, 30), ev("B", 3, 40)});
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], (MatchKey{0, 1}));
+  EXPECT_EQ(keys[1], (MatchKey{0, 3}));
+  EXPECT_EQ(keys[2], (MatchKey{2, 3}));
+}
+
+TEST_F(InOrderEngineTest, WindowEnforced) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
+  const auto keys = run_engine_keys(
+      EngineKind::kInOrder, q, {ev("A", 0, 10), ev("B", 1, 20), ev("B", 2, 21)});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (MatchKey{0, 1}));
+}
+
+TEST_F(InOrderEngineTest, EqualTimestampsDoNotSequence) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
+  EXPECT_TRUE(
+      run_engine_keys(EngineKind::kInOrder, q, {ev("A", 0, 10), ev("B", 1, 10)}).empty());
+}
+
+TEST_F(InOrderEngineTest, JoinPredicatePartitionedAndNot) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 100", reg_);
+  const std::vector<Event> ev_list{ev("A", 0, 10, 1), ev("A", 1, 11, 2),
+                                   ev("B", 2, 20, 1), ev("B", 3, 21, 2)};
+  for (const bool partition : {true, false}) {
+    EngineOptions opt;
+    opt.partition_by_key = partition;
+    const auto keys = run_engine_keys(EngineKind::kInOrder, q, ev_list, opt);
+    ASSERT_EQ(keys.size(), 2u) << "partition=" << partition;
+    EXPECT_EQ(keys[0], (MatchKey{0, 2}));
+    EXPECT_EQ(keys[1], (MatchKey{1, 3}));
+  }
+}
+
+TEST_F(InOrderEngineTest, ThreeStepWithNegation) {
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, !B b, C c) WHERE a.k == c.k AND a.k == b.k WITHIN 100", reg_);
+  const auto keys = run_engine_keys(
+      EngineKind::kInOrder, q,
+      {ev("A", 0, 10, 1), ev("B", 1, 15, 1), ev("C", 2, 20, 1),   // blocked
+       ev("A", 3, 30, 2), ev("C", 4, 40, 2)});                    // clean
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (MatchKey{3, 4}));
+}
+
+TEST_F(InOrderEngineTest, PurgeDoesNotChangeResults) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 20", reg_);
+  std::vector<Event> events;
+  for (EventId i = 0; i < 400; ++i)
+    events.push_back(ev(i % 2 ? "B" : "A", i, static_cast<Timestamp>(i) * 3));
+  for (const std::size_t period : {std::size_t{1}, std::size_t{16}, std::size_t{0}}) {
+    EngineOptions opt;
+    opt.purge_period = period;
+    expect_exact(EngineKind::kInOrder, q, events, opt, "purge sweep");
+  }
+}
+
+TEST_F(InOrderEngineTest, PurgeActuallyShrinksState) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 20", reg_);
+  std::vector<Event> events;
+  for (EventId i = 0; i < 1'000; ++i)
+    events.push_back(ev("A", i, static_cast<Timestamp>(i) * 5));
+  CollectingSink sink;
+  EngineOptions opt;
+  opt.purge_period = 8;
+  const auto engine = make_engine(EngineKind::kInOrder, q, sink, opt);
+  for (const auto& e : events) engine->on_event(e);
+  const auto s = engine->stats();
+  EXPECT_GT(s.instances_purged, 900u);
+  EXPECT_LT(s.current_instances, 20u);
+  EXPECT_LT(s.footprint_peak, 40u);
+}
+
+TEST_F(InOrderEngineTest, MissesMatchesUnderOutOfOrderInput) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
+  // B arrives before its A: in-order engine cannot see (A,B).
+  const auto keys =
+      run_engine_keys(EngineKind::kInOrder, q, {ev("B", 0, 20), ev("A", 1, 10)});
+  EXPECT_TRUE(keys.empty());
+  // The oracle disagrees — this is the documented failure mode.
+  const std::vector<Event> all{ev("B", 0, 20), ev("A", 1, 10)};
+  EXPECT_EQ(oracle_keys(q, all).size(), 1u);
+}
+
+TEST_F(InOrderEngineTest, PhantomMatchWhenNegativeArrivesLate) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
+  // The C trigger fires before the (earlier-ts) B arrives → phantom match.
+  const std::vector<Event> arrivals{ev("A", 0, 10), ev("C", 1, 30), ev("B", 2, 20)};
+  const auto keys = run_engine_keys(EngineKind::kInOrder, q, arrivals);
+  EXPECT_EQ(keys.size(), 1u);                      // engine claims a match
+  EXPECT_TRUE(oracle_keys(q, arrivals).empty());   // truth: there is none
+}
+
+TEST_F(InOrderEngineTest, StatsCountersPopulated) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 50", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kInOrder, q, sink);
+  for (EventId i = 0; i < 100; ++i)
+    engine->on_event(ev(i % 2 ? "B" : "A", i, static_cast<Timestamp>(i) * 2, i % 5));
+  engine->finish();
+  const auto s = engine->stats();
+  EXPECT_EQ(s.events_seen, 100u);
+  EXPECT_EQ(s.events_relevant, 100u);
+  EXPECT_GT(s.instances_inserted, 0u);
+  EXPECT_GT(s.construction_visits, 0u);
+  EXPECT_GT(s.matches_emitted, 0u);
+  EXPECT_EQ(s.matches_emitted, sink.size());
+  EXPECT_EQ(engine->name(), "inorder-ssc");
+}
+
+TEST_F(InOrderEngineTest, IrrelevantTypesIgnored) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 50", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kInOrder, q, sink);
+  engine->on_event(ev("D", 0, 10));
+  engine->on_event(ev("D", 1, 20));
+  const auto s = engine->stats();
+  EXPECT_EQ(s.events_seen, 2u);
+  EXPECT_EQ(s.events_relevant, 0u);
+  EXPECT_EQ(s.instances_inserted, 0u);
+}
+
+TEST_F(InOrderEngineTest, SameTypeMultipleSteps) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A x, A y, A z) WITHIN 100", reg_);
+  std::vector<Event> events;
+  for (EventId i = 0; i < 6; ++i)
+    events.push_back(ev("A", i, static_cast<Timestamp>(i + 1) * 10));
+  expect_exact(EngineKind::kInOrder, q, events, {}, "A,A,A pattern");
+  // C(6,3) = 20 matches.
+  EXPECT_EQ(run_engine_keys(EngineKind::kInOrder, q, events).size(), 20u);
+}
+
+TEST_F(InOrderEngineTest, SingleStepQuery) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a) WHERE a.v > 1 WITHIN 5", reg_);
+  const auto keys = run_engine_keys(
+      EngineKind::kInOrder, q,
+      {ev("A", 0, 1, 0, 0), ev("A", 1, 2, 0, 2), ev("A", 2, 3, 0, 5)});
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+TEST_F(InOrderEngineTest, LongPatternFiveSteps) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b, C c, D d, A e) WITHIN 1000", reg_);
+  std::vector<Event> events;
+  EventId id = 0;
+  const char* cycle[] = {"A", "B", "C", "D", "A"};
+  for (int round = 0; round < 8; ++round)
+    for (const char* t : cycle) {
+      const Timestamp ts = static_cast<Timestamp>(id + 1) * 7;
+      events.push_back(ev(t, id++, ts));
+    }
+  expect_exact(EngineKind::kInOrder, q, events, {}, "five step pattern");
+}
+
+}  // namespace
+}  // namespace oosp

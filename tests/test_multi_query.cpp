@@ -1,0 +1,235 @@
+// Unit + integration tests: multi-query runner and hierarchical
+// (composite-event) pipelines.
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+#include "runtime/multi_query.hpp"
+#include "runtime/pipeline.hpp"
+#include "stream/disorder.hpp"
+#include "workload/synthetic.hpp"
+
+namespace oosp {
+namespace {
+
+using testutil::make_abcd_registry;
+using testutil::make_event;
+
+class MultiQueryTest : public ::testing::Test {
+ protected:
+  MultiQueryTest() : reg_(make_abcd_registry()) {}
+  Event ev(const char* t, EventId id, Timestamp ts, std::int64_t k = 0) {
+    return make_event(reg_, t, id, ts, k);
+  }
+  TypeRegistry reg_;
+};
+
+TEST_F(MultiQueryTest, RoutesEventsToRelevantEnginesOnly) {
+  CollectingTaggedSink sink;
+  MultiQueryRunner runner(reg_, sink);
+  const QueryId q_ab = runner.add_query("PATTERN SEQ(A a, B b) WITHIN 100",
+                                        EngineKind::kOoo);
+  const QueryId q_cd = runner.add_query("PATTERN SEQ(C c, D d) WITHIN 100",
+                                        EngineKind::kOoo);
+  runner.on_event(ev("A", 0, 10));
+  runner.on_event(ev("B", 1, 20));
+  runner.on_event(ev("C", 2, 30));
+  runner.on_event(ev("D", 3, 40));
+  runner.finish();
+
+  EXPECT_EQ(sink.keys_for(q_ab), (std::vector<MatchKey>{{0, 1}}));
+  EXPECT_EQ(sink.keys_for(q_cd), (std::vector<MatchKey>{{2, 3}}));
+  // Each engine saw only its own two events.
+  EXPECT_EQ(runner.stats(q_ab).events_seen, 2u);
+  EXPECT_EQ(runner.stats(q_cd).events_seen, 2u);
+  EXPECT_EQ(runner.events_seen(), 4u);
+  EXPECT_EQ(runner.events_routed(), 4u);
+}
+
+TEST_F(MultiQueryTest, IrrelevantEventsAreSkippedEntirely) {
+  CollectingTaggedSink sink;
+  MultiQueryRunner runner(reg_, sink);
+  const QueryId q = runner.add_query("PATTERN SEQ(A a, B b) WITHIN 100",
+                                     EngineKind::kInOrder);
+  for (EventId i = 0; i < 50; ++i) runner.on_event(ev("D", i, 10 + (Timestamp)i));
+  runner.finish();
+  EXPECT_EQ(runner.events_routed(), 0u);
+  EXPECT_EQ(runner.stats(q).events_seen, 0u);
+}
+
+TEST_F(MultiQueryTest, OverlappingQueriesShareTheScan) {
+  CollectingTaggedSink sink;
+  MultiQueryRunner runner(reg_, sink);
+  const QueryId q1 = runner.add_query("PATTERN SEQ(A a, B b) WITHIN 100",
+                                      EngineKind::kOoo);
+  const QueryId q2 = runner.add_query("PATTERN SEQ(A x, A y) WITHIN 100",
+                                      EngineKind::kOoo);
+  runner.on_event(ev("A", 0, 10));
+  runner.on_event(ev("A", 1, 20));
+  runner.on_event(ev("B", 2, 30));
+  runner.finish();
+  EXPECT_EQ(sink.keys_for(q1).size(), 2u);  // (0,2), (1,2)
+  EXPECT_EQ(sink.keys_for(q2).size(), 1u);  // (0,1)
+}
+
+TEST_F(MultiQueryTest, NegationQueriesGetClockTicksFromForeignTypes) {
+  CollectingTaggedSink sink;
+  MultiQueryRunner runner(reg_, sink);
+  EngineOptions opt;
+  opt.slack = 20;
+  const QueryId q = runner.add_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100",
+                                     EngineKind::kOoo, opt);
+  runner.on_event(ev("A", 0, 10));
+  runner.on_event(ev("C", 1, 30));
+  EXPECT_EQ(sink.keys_for(q).size(), 0u);  // unsealed: clock=30, K=20
+  // A type-D event (irrelevant to the query) still advances the clock to
+  // 60 > 30 + K, sealing and releasing the match.
+  runner.on_event(ev("D", 2, 60));
+  EXPECT_EQ(sink.keys_for(q).size(), 1u);
+  // The clock tick was delivered, so the engine saw 3 events.
+  EXPECT_EQ(runner.stats(q).events_seen, 3u);
+}
+
+TEST_F(MultiQueryTest, AddQueryAfterStartRejected) {
+  CollectingTaggedSink sink;
+  MultiQueryRunner runner(reg_, sink);
+  runner.add_query("PATTERN SEQ(A a, B b) WITHIN 10", EngineKind::kOoo);
+  runner.on_event(ev("A", 0, 1));
+  EXPECT_THROW(runner.add_query("PATTERN SEQ(C c, D d) WITHIN 10", EngineKind::kOoo),
+               std::invalid_argument);
+}
+
+TEST_F(MultiQueryTest, ManyQueriesUnderDisorderAllExact) {
+  SyntheticWorkload wl({.num_events = 3'000, .num_types = 4, .key_cardinality = 8,
+                        .mean_gap = 4, .seed = 91});
+  const auto ordered = wl.generate();
+  DisorderInjector inj(LatencyModel::uniform(120), 0.25, 14);
+  const auto arrivals = inj.deliver(ordered);
+
+  CollectingTaggedSink sink;
+  MultiQueryRunner runner(wl.registry(), sink);
+  EngineOptions opt;
+  opt.slack = inj.slack_bound();
+  std::vector<std::string> queries{
+      wl.seq_query(2, true, 100),
+      wl.seq_query(3, true, 200),
+      wl.seq_query(4, false, 150),
+      wl.negation_query(150),
+  };
+  std::vector<QueryId> ids;
+  for (const auto& q : queries) ids.push_back(runner.add_query(q, EngineKind::kOoo, opt));
+  for (const Event& e : arrivals) runner.on_event(e);
+  runner.finish();
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const CompiledQuery q = compile_query(queries[i], wl.registry());
+    EXPECT_EQ(sink.keys_for(ids[i]), oracle_keys(q, arrivals)) << queries[i];
+  }
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : reg_(make_abcd_registry()) {
+    composite_ = reg_.register_type("Pair", Schema({{"k", ValueType::kInt}}));
+  }
+  Event ev(const char* t, EventId id, Timestamp ts, std::int64_t k = 0) {
+    return make_event(reg_, t, id, ts, k);
+  }
+  TypeRegistry reg_;
+  TypeId composite_;
+};
+
+TEST_F(PipelineTest, TwoStageCompositionDetectsHigherLevelPattern) {
+  // Stage 1: (A,B) pairs keyed on k → composite Pair events.
+  // Stage 2: two Pairs with the same key within a larger window.
+  const CompiledQuery q1 =
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 50", reg_);
+  const CompiledQuery q2 =
+      compile_query("PATTERN SEQ(Pair p1, Pair p2) WHERE p1.k == p2.k WITHIN 500",
+                    reg_);
+
+  CollectingSink final_sink;
+  EngineOptions opt2;
+  opt2.slack = 100;  // covers upstream detection delay
+  const auto downstream = make_engine(EngineKind::kOoo, q2, final_sink, opt2);
+
+  CompositeEmitter emitter(
+      composite_, [](const Match& m) { return std::vector<Value>{m.events[0].attr(0)}; },
+      *downstream, /*first_id=*/1'000'000);
+
+  EngineOptions opt1;
+  opt1.slack = 60;
+  const auto upstream = make_engine(EngineKind::kOoo, q1, emitter, opt1);
+
+  // Two pairs for key 1 (the second pair's A arrives late), one for key 2.
+  upstream->on_event(ev("A", 0, 10, 1));
+  upstream->on_event(ev("B", 1, 20, 1));
+  upstream->on_event(ev("B", 2, 120, 1));
+  upstream->on_event(ev("A", 3, 110, 1));  // late
+  upstream->on_event(ev("A", 4, 200, 2));
+  upstream->on_event(ev("B", 5, 210, 2));
+  upstream->finish();
+  downstream->finish();
+
+  EXPECT_EQ(emitter.emitted(), 3u);
+  ASSERT_EQ(final_sink.size(), 1u);  // the two key-1 pairs compose
+  EXPECT_EQ(final_sink.matches()[0].events[0].attr(0).as_int(), 1);
+  EXPECT_LE(emitter.max_downstream_lateness(), opt2.slack);
+}
+
+TEST_F(PipelineTest, LateUpstreamMatchStillComposes) {
+  const CompiledQuery q1 =
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 50", reg_);
+  const CompiledQuery q2 =
+      compile_query("PATTERN SEQ(Pair p1, Pair p2) WHERE p1.k == p2.k WITHIN 500",
+                    reg_);
+  CollectingSink final_sink;
+  EngineOptions opt2;
+  opt2.slack = 100;
+  const auto downstream = make_engine(EngineKind::kOoo, q2, final_sink, opt2);
+  CompositeEmitter emitter(
+      composite_, [](const Match& m) { return std::vector<Value>{m.events[0].attr(0)}; },
+      *downstream, 1'000'000);
+  EngineOptions opt1;
+  opt1.slack = 100;
+  const auto upstream = make_engine(EngineKind::kOoo, q1, emitter, opt1);
+
+  // The EARLIER pair completes after the later pair (its B is late), so
+  // the composite events reach stage 2 out of order.
+  upstream->on_event(ev("A", 0, 10, 1));
+  upstream->on_event(ev("A", 1, 100, 1));
+  upstream->on_event(ev("B", 2, 110, 1));  // later pair completes first
+  upstream->on_event(ev("B", 3, 20, 1));   // late: earlier pair completes second
+  upstream->finish();
+  downstream->finish();
+
+  EXPECT_EQ(emitter.emitted(), 2u);
+  EXPECT_GT(emitter.max_downstream_lateness(), 0);
+  ASSERT_EQ(final_sink.size(), 1u);
+}
+
+TEST_F(PipelineTest, RefusesRetractions) {
+  const CompiledQuery q2 =
+      compile_query("PATTERN SEQ(Pair p1, Pair p2) WITHIN 500", reg_);
+  CollectingSink final_sink;
+  const auto downstream = make_engine(EngineKind::kOoo, q2, final_sink, {});
+  CompositeEmitter emitter(
+      composite_, [](const Match&) { return std::vector<Value>{Value(0)}; },
+      *downstream, 1);
+  Match m;
+  m.events.push_back(Event{});
+  EXPECT_THROW(emitter.on_retract(m), std::logic_error);
+}
+
+TEST_F(PipelineTest, ValidatesConstruction) {
+  const CompiledQuery q2 = compile_query("PATTERN SEQ(Pair p1, Pair p2) WITHIN 500", reg_);
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kOoo, q2, sink, {});
+  EXPECT_THROW(CompositeEmitter(kInvalidType, [](const Match&) {
+                 return std::vector<Value>{};
+               }, *engine, 1),
+               std::invalid_argument);
+  EXPECT_THROW(CompositeEmitter(composite_, nullptr, *engine, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace oosp

@@ -1,0 +1,114 @@
+// Unit tests: NFA-run engine (semantics parity with the stack engine on
+// ordered input, run-count behaviour, purge).
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+
+namespace oosp {
+namespace {
+
+using testutil::expect_exact;
+using testutil::make_abcd_registry;
+using testutil::make_event;
+using testutil::run_engine_keys;
+
+class NfaEngineTest : public ::testing::Test {
+ protected:
+  NfaEngineTest() : reg_(make_abcd_registry()) {}
+  Event ev(const char* t, EventId id, Timestamp ts, std::int64_t k = 0,
+           std::int64_t v = 0) {
+    return make_event(reg_, t, id, ts, k, v);
+  }
+  TypeRegistry reg_;
+};
+
+TEST_F(NfaEngineTest, AgreesWithStackEngineOnOrderedStreams) {
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, B b, C c) WHERE a.k == b.k AND b.k == c.k WITHIN 120", reg_);
+  std::vector<Event> events;
+  EventId id = 0;
+  for (int i = 0; i < 120; ++i) {
+    const char* types[] = {"A", "B", "C"};
+    events.push_back(
+        ev(types[i % 3], id++, static_cast<Timestamp>(i) * 4 + 1, i % 4));
+  }
+  EXPECT_EQ(run_engine_keys(EngineKind::kNfa, q, events),
+            run_engine_keys(EngineKind::kInOrder, q, events));
+  expect_exact(EngineKind::kNfa, q, events, {}, "ordered parity");
+}
+
+TEST_F(NfaEngineTest, NegationParity) {
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, !B b, C c) WHERE a.k == c.k AND a.k == b.k WITHIN 100", reg_);
+  const std::vector<Event> events{ev("A", 0, 10, 1), ev("B", 1, 15, 1),
+                                  ev("C", 2, 20, 1), ev("A", 3, 30, 2),
+                                  ev("C", 4, 40, 2)};
+  EXPECT_EQ(run_engine_keys(EngineKind::kNfa, q, events),
+            run_engine_keys(EngineKind::kInOrder, q, events));
+}
+
+TEST_F(NfaEngineTest, SingleStepAndSameTypeSteps) {
+  const CompiledQuery q1 = compile_query("PATTERN SEQ(A a) WHERE a.v > 2 WITHIN 5", reg_);
+  EXPECT_EQ(run_engine_keys(EngineKind::kNfa, q1,
+                            {ev("A", 0, 1, 0, 1), ev("A", 1, 2, 0, 5)})
+                .size(),
+            1u);
+  const CompiledQuery q2 = compile_query("PATTERN SEQ(A x, A y) WITHIN 50", reg_);
+  const auto keys = run_engine_keys(EngineKind::kNfa, q2,
+                                    {ev("A", 0, 10), ev("A", 1, 20), ev("A", 2, 30)});
+  EXPECT_EQ(keys.size(), 3u);
+}
+
+TEST_F(NfaEngineTest, AnEventNeverExtendsItsOwnRun) {
+  // Type A matches both steps; one event must not pair with itself.
+  const CompiledQuery q = compile_query("PATTERN SEQ(A x, A y) WITHIN 50", reg_);
+  EXPECT_TRUE(run_engine_keys(EngineKind::kNfa, q, {ev("A", 0, 10)}).empty());
+}
+
+TEST_F(NfaEngineTest, RunCountGrowsWithPartialMatches) {
+  // Many A's, no B: state holds one run per A until purge.
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 1000", reg_);
+  CollectingSink sink;
+  EngineOptions opt;
+  opt.purge_period = 0;
+  const auto engine = make_engine(EngineKind::kNfa, q, sink, opt);
+  for (EventId i = 0; i < 500; ++i)
+    engine->on_event(ev("A", i, static_cast<Timestamp>(i) + 1));
+  EXPECT_EQ(engine->stats().current_instances, 500u);
+}
+
+TEST_F(NfaEngineTest, PurgeDropsExpiredRuns) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
+  CollectingSink sink;
+  EngineOptions opt;
+  opt.purge_period = 1;
+  const auto engine = make_engine(EngineKind::kNfa, q, sink, opt);
+  for (EventId i = 0; i < 100; ++i)
+    engine->on_event(ev("A", i, static_cast<Timestamp>(i) * 5));
+  const auto s = engine->stats();
+  EXPECT_LT(s.current_instances, 5u);
+  EXPECT_GT(s.instances_purged, 90u);
+}
+
+TEST_F(NfaEngineTest, MissesLateEventsLikeAnyInOrderEngine) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
+  EXPECT_TRUE(
+      run_engine_keys(EngineKind::kNfa, q, {ev("B", 0, 20), ev("A", 1, 10)}).empty());
+}
+
+TEST_F(NfaEngineTest, LongPattern) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b, C c, D d) WITHIN 1000", reg_);
+  std::vector<Event> events;
+  EventId id = 0;
+  const char* cycle[] = {"A", "B", "C", "D"};
+  for (int round = 0; round < 10; ++round)
+    for (const char* t : cycle) {
+      const Timestamp ts = static_cast<Timestamp>(id + 1) * 3;
+      events.push_back(ev(t, id++, ts));
+    }
+  expect_exact(EngineKind::kNfa, q, events, {}, "four step pattern");
+}
+
+}  // namespace
+}  // namespace oosp

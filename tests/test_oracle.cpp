@@ -1,0 +1,157 @@
+// Unit tests: the brute-force oracle on hand-checked streams.
+#include <gtest/gtest.h>
+
+#include "engine/oracle/oracle.hpp"
+#include "query/parser.hpp"
+
+namespace oosp {
+namespace {
+
+class OracleTest : public ::testing::Test {
+ protected:
+  OracleTest() {
+    const Schema s({{"k", ValueType::kInt}, {"v", ValueType::kInt}});
+    for (const char* n : {"A", "B", "C"}) reg_.register_type(n, s);
+  }
+
+  Event make(const char* type, EventId id, Timestamp ts, std::int64_t k = 0,
+             std::int64_t v = 0) {
+    Event e;
+    e.type = reg_.lookup(type);
+    e.id = id;
+    e.ts = ts;
+    e.attrs = {Value(k), Value(v)};
+    return e;
+  }
+
+  TypeRegistry reg_;
+};
+
+TEST_F(OracleTest, SimpleSequence) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
+  const std::vector<Event> ev{make("A", 0, 10), make("B", 1, 20), make("A", 2, 30),
+                              make("B", 3, 40)};
+  const auto keys = oracle_keys(q, ev);
+  // (0,1), (0,3), (2,3)
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], (MatchKey{0, 1}));
+  EXPECT_EQ(keys[1], (MatchKey{0, 3}));
+  EXPECT_EQ(keys[2], (MatchKey{2, 3}));
+}
+
+TEST_F(OracleTest, WindowIsInclusiveOfBound) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
+  const std::vector<Event> ev{make("A", 0, 10), make("B", 1, 20), make("B", 2, 21)};
+  const auto keys = oracle_keys(q, ev);
+  // last - first <= 10: (0,1) spans exactly 10 → in; (0,2) spans 11 → out.
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (MatchKey{0, 1}));
+}
+
+TEST_F(OracleTest, EqualTimestampsNeverSequence) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
+  const std::vector<Event> ev{make("A", 0, 10), make("B", 1, 10)};
+  EXPECT_TRUE(oracle_keys(q, ev).empty());
+}
+
+TEST_F(OracleTest, JoinPredicate) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 100", reg_);
+  const std::vector<Event> ev{make("A", 0, 10, 1), make("A", 1, 11, 2),
+                              make("B", 2, 20, 1), make("B", 3, 21, 2)};
+  const auto keys = oracle_keys(q, ev);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], (MatchKey{0, 2}));
+  EXPECT_EQ(keys[1], (MatchKey{1, 3}));
+}
+
+TEST_F(OracleTest, LocalPredicateFiltersCandidates) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.v > 5 WITHIN 100", reg_);
+  const std::vector<Event> ev{make("A", 0, 10, 0, 3), make("A", 1, 11, 0, 9),
+                              make("B", 2, 20)};
+  const auto keys = oracle_keys(q, ev);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (MatchKey{1, 2}));
+}
+
+TEST_F(OracleTest, NegationBlocksInterval) {
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, !B b, C c) WHERE a.k == c.k AND a.k == b.k WITHIN 100", reg_);
+  const std::vector<Event> ev{
+      make("A", 0, 10, 1), make("B", 1, 15, 1), make("C", 2, 20, 1),  // blocked
+      make("A", 3, 30, 2), make("C", 4, 40, 2),                       // clean
+  };
+  const auto keys = oracle_keys(q, ev);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (MatchKey{3, 4}));
+}
+
+TEST_F(OracleTest, NegationIsStrictlyInterior) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
+  // B events exactly at the boundaries do NOT negate.
+  const std::vector<Event> ev{make("A", 0, 10), make("B", 1, 10), make("B", 2, 20),
+                              make("C", 3, 20)};
+  const auto keys = oracle_keys(q, ev);
+  ASSERT_EQ(keys.size(), 1u);
+}
+
+TEST_F(OracleTest, NegationWithDifferentKeyDoesNotBlock) {
+  const CompiledQuery q = compile_query(
+      "PATTERN SEQ(A a, !B b, C c) WHERE a.k == b.k AND a.k == c.k WITHIN 100", reg_);
+  const std::vector<Event> ev{make("A", 0, 10, 1), make("B", 1, 15, 2),
+                              make("C", 2, 20, 1)};
+  EXPECT_EQ(oracle_keys(q, ev).size(), 1u);
+}
+
+TEST_F(OracleTest, ArrivalOrderIrrelevant) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b, C c) WITHIN 100", reg_);
+  std::vector<Event> ev{make("C", 0, 30), make("A", 1, 10), make("B", 2, 20)};
+  const auto keys = oracle_keys(q, ev);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (MatchKey{1, 2, 0}));
+}
+
+TEST_F(OracleTest, SameTypeMultipleSteps) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A x, A y) WITHIN 100", reg_);
+  const std::vector<Event> ev{make("A", 0, 10), make("A", 1, 20), make("A", 2, 30)};
+  const auto keys = oracle_keys(q, ev);
+  // (0,1), (0,2), (1,2)
+  EXPECT_EQ(keys.size(), 3u);
+}
+
+TEST_F(OracleTest, SingleStepPattern) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a) WHERE a.v >= 5 WITHIN 10", reg_);
+  const std::vector<Event> ev{make("A", 0, 1, 0, 4), make("A", 1, 2, 0, 5),
+                              make("A", 2, 3, 0, 6)};
+  EXPECT_EQ(oracle_keys(q, ev).size(), 2u);
+}
+
+TEST_F(OracleTest, EmptyStream) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
+  EXPECT_TRUE(oracle_keys(q, {}).empty());
+}
+
+TEST_F(OracleTest, CrossStepInequalityPredicate) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.v < b.v WITHIN 100", reg_);
+  const std::vector<Event> ev{make("A", 0, 10, 0, 5), make("B", 1, 20, 0, 3),
+                              make("B", 2, 21, 0, 8)};
+  const auto keys = oracle_keys(q, ev);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], (MatchKey{0, 2}));
+}
+
+TEST_F(OracleTest, MatchBodyHasOrderedTimestamps) {
+  const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b, C c) WITHIN 100", reg_);
+  const std::vector<Event> ev{make("A", 0, 10), make("B", 1, 20), make("C", 2, 30)};
+  const auto ms = oracle_matches(q, ev);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(ms[0].first_ts(), 10);
+  EXPECT_EQ(ms[0].last_ts(), 30);
+  EXPECT_EQ(ms[0].events.size(), 3u);
+}
+
+}  // namespace
+}  // namespace oosp

@@ -1,0 +1,194 @@
+// Unit tests: lexer and parser of the pattern query language.
+#include <gtest/gtest.h>
+
+#include "query/lexer.hpp"
+#include "query/parser.hpp"
+
+namespace oosp {
+namespace {
+
+TEST(Lexer, TokenizesFullQuery) {
+  const auto toks = tokenize("PATTERN SEQ(A a, !B b) WHERE a.x == 1 WITHIN 10");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks.front().kind, TokKind::kPattern);
+  EXPECT_EQ(toks.back().kind, TokKind::kEnd);
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  const auto toks = tokenize("pattern Seq wHeRe wiThIn and or not true false");
+  EXPECT_EQ(toks[0].kind, TokKind::kPattern);
+  EXPECT_EQ(toks[1].kind, TokKind::kSeq);
+  EXPECT_EQ(toks[2].kind, TokKind::kWhere);
+  EXPECT_EQ(toks[3].kind, TokKind::kWithin);
+  EXPECT_EQ(toks[4].kind, TokKind::kAnd);
+  EXPECT_EQ(toks[5].kind, TokKind::kOr);
+  EXPECT_EQ(toks[6].kind, TokKind::kNot);
+  EXPECT_EQ(toks[7].kind, TokKind::kTrue);
+  EXPECT_EQ(toks[8].kind, TokKind::kFalse);
+}
+
+TEST(Lexer, IdentifiersKeepCase) {
+  const auto toks = tokenize("ShelfReading s_1");
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[0].text, "ShelfReading");
+  EXPECT_EQ(toks[1].text, "s_1");
+}
+
+TEST(Lexer, Numbers) {
+  const auto toks = tokenize("42 -17 3.5 -0.25");
+  EXPECT_EQ(toks[0].kind, TokKind::kInt);
+  EXPECT_EQ(toks[1].kind, TokKind::kInt);
+  EXPECT_EQ(toks[1].text, "-17");
+  EXPECT_EQ(toks[2].kind, TokKind::kFloat);
+  EXPECT_EQ(toks[3].kind, TokKind::kFloat);
+  EXPECT_EQ(toks[3].text, "-0.25");
+}
+
+TEST(Lexer, Strings) {
+  const auto toks = tokenize("'abc' \"d\\\"e\"");
+  EXPECT_EQ(toks[0].kind, TokKind::kString);
+  EXPECT_EQ(toks[0].text, "abc");
+  EXPECT_EQ(toks[1].text, "d\"e");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(tokenize("'abc"), QueryParseError);
+}
+
+TEST(Lexer, Operators) {
+  const auto toks = tokenize("== != < <= > >= ! ( ) , .");
+  EXPECT_EQ(toks[0].kind, TokKind::kEq);
+  EXPECT_EQ(toks[1].kind, TokKind::kNe);
+  EXPECT_EQ(toks[2].kind, TokKind::kLt);
+  EXPECT_EQ(toks[3].kind, TokKind::kLe);
+  EXPECT_EQ(toks[4].kind, TokKind::kGt);
+  EXPECT_EQ(toks[5].kind, TokKind::kGe);
+  EXPECT_EQ(toks[6].kind, TokKind::kBang);
+  EXPECT_EQ(toks[7].kind, TokKind::kLParen);
+  EXPECT_EQ(toks[8].kind, TokKind::kRParen);
+  EXPECT_EQ(toks[9].kind, TokKind::kComma);
+  EXPECT_EQ(toks[10].kind, TokKind::kDot);
+}
+
+TEST(Lexer, SingleEqualsThrows) {
+  EXPECT_THROW(tokenize("a = b"), QueryParseError);
+}
+
+TEST(Lexer, UnknownCharThrows) {
+  EXPECT_THROW(tokenize("a # b"), QueryParseError);
+}
+
+TEST(Parser, MinimalQuery) {
+  const ParsedQuery q = parse_query("PATTERN SEQ(A a) WITHIN 5");
+  ASSERT_EQ(q.steps.size(), 1u);
+  EXPECT_EQ(q.steps[0].type_name, "A");
+  EXPECT_EQ(q.steps[0].binding, "a");
+  EXPECT_FALSE(q.steps[0].negated);
+  EXPECT_FALSE(q.where.has_value());
+  EXPECT_EQ(q.window, 5);
+}
+
+TEST(Parser, NegatedSteps) {
+  const ParsedQuery q = parse_query("PATTERN SEQ(A a, !B b, NOT C c, D d) WITHIN 9");
+  ASSERT_EQ(q.steps.size(), 4u);
+  EXPECT_FALSE(q.steps[0].negated);
+  EXPECT_TRUE(q.steps[1].negated);
+  EXPECT_TRUE(q.steps[2].negated);  // NOT prefix also accepted
+  EXPECT_FALSE(q.steps[3].negated);
+}
+
+TEST(Parser, WhereClauseTree) {
+  const ParsedQuery q = parse_query(
+      "PATTERN SEQ(A a, B b) WHERE a.x == b.x AND (a.y > 1 OR NOT b.z == 's') WITHIN 7");
+  ASSERT_TRUE(q.where.has_value());
+  EXPECT_EQ(q.where->kind, BoolExpr::Kind::kAnd);
+  ASSERT_EQ(q.where->children.size(), 2u);
+  EXPECT_EQ(q.where->children[0].kind, BoolExpr::Kind::kCmp);
+  EXPECT_EQ(q.where->children[1].kind, BoolExpr::Kind::kOr);
+}
+
+TEST(Parser, OperatorPrecedenceAndBeforeOr) {
+  const BoolExpr e = parse_expression("a.x == 1 OR a.y == 2 AND a.z == 3");
+  EXPECT_EQ(e.kind, BoolExpr::Kind::kOr);
+  ASSERT_EQ(e.children.size(), 2u);
+  EXPECT_EQ(e.children[1].kind, BoolExpr::Kind::kAnd);
+}
+
+TEST(Parser, ChainedAndIsFlattened) {
+  const BoolExpr e = parse_expression("a.x == 1 AND a.y == 2 AND a.z == 3");
+  EXPECT_EQ(e.kind, BoolExpr::Kind::kAnd);
+  EXPECT_EQ(e.children.size(), 3u);
+}
+
+TEST(Parser, NotBinding) {
+  const BoolExpr e = parse_expression("NOT NOT a.x == 1");
+  EXPECT_EQ(e.kind, BoolExpr::Kind::kNot);
+  EXPECT_EQ(e.children[0].kind, BoolExpr::Kind::kNot);
+}
+
+TEST(Parser, LiteralKinds) {
+  const BoolExpr e = parse_expression(
+      "a.i == 3 AND a.d == 2.5 AND a.s == 'txt' AND a.b == true AND a.c == false");
+  ASSERT_EQ(e.children.size(), 5u);
+  EXPECT_EQ(std::get<Value>(e.children[0].cmp->rhs).type(), ValueType::kInt);
+  EXPECT_EQ(std::get<Value>(e.children[1].cmp->rhs).type(), ValueType::kDouble);
+  EXPECT_EQ(std::get<Value>(e.children[2].cmp->rhs).type(), ValueType::kString);
+  EXPECT_EQ(std::get<Value>(e.children[3].cmp->rhs).type(), ValueType::kBool);
+  EXPECT_EQ(std::get<Value>(e.children[4].cmp->rhs).as_bool(), false);
+}
+
+TEST(Parser, AllComparisonOps) {
+  for (const char* op : {"==", "!=", "<", "<=", ">", ">="}) {
+    const BoolExpr e = parse_expression("a.x " + std::string(op) + " 1");
+    EXPECT_EQ(e.kind, BoolExpr::Kind::kCmp) << op;
+  }
+}
+
+TEST(Parser, WindowValidation) {
+  EXPECT_THROW(parse_query("PATTERN SEQ(A a) WITHIN 0"), QueryParseError);
+  EXPECT_THROW(parse_query("PATTERN SEQ(A a) WITHIN -5"), QueryParseError);
+  EXPECT_THROW(parse_query("PATTERN SEQ(A a) WITHIN x"), QueryParseError);
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_THROW(parse_query("SEQ(A a) WITHIN 5"), QueryParseError);
+  EXPECT_THROW(parse_query("PATTERN SEQ(A) WITHIN 5"), QueryParseError);
+  EXPECT_THROW(parse_query("PATTERN SEQ(A a WITHIN 5"), QueryParseError);
+  EXPECT_THROW(parse_query("PATTERN SEQ(A a,) WITHIN 5"), QueryParseError);
+  EXPECT_THROW(parse_query("PATTERN SEQ(A a) WHERE WITHIN 5"), QueryParseError);
+  EXPECT_THROW(parse_query("PATTERN SEQ(A a) WHERE a.x WITHIN 5"), QueryParseError);
+  EXPECT_THROW(parse_query("PATTERN SEQ(A a) WHERE a.x == WITHIN 5"), QueryParseError);
+  EXPECT_THROW(parse_query("PATTERN SEQ(A a) WITHIN 5 trailing"), QueryParseError);
+  EXPECT_THROW(parse_query(""), QueryParseError);
+}
+
+TEST(Parser, ErrorCarriesOffset) {
+  try {
+    parse_query("PATTERN SEQ(A a) WITHIN x");
+    FAIL() << "expected parse error";
+  } catch (const QueryParseError& e) {
+    EXPECT_GT(e.offset(), 0u);
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Parser, RoundTripThroughText) {
+  const std::string text =
+      "PATTERN SEQ(Shelf s, !Checkout c, Exit e) WHERE s.item == c.item AND "
+      "c.item == e.item WITHIN 600";
+  const ParsedQuery q1 = parse_query(text);
+  const ParsedQuery q2 = parse_query(to_text(q1));
+  EXPECT_EQ(to_text(q1), to_text(q2));
+  EXPECT_EQ(q1.steps.size(), q2.steps.size());
+  EXPECT_EQ(q1.window, q2.window);
+}
+
+TEST(Parser, RoundTripComplexExpr) {
+  const BoolExpr e =
+      parse_expression("(a.x == 1 OR b.y < 2.5) AND NOT (a.z != 's' AND b.w >= true)");
+  const BoolExpr e2 = parse_expression(to_text(e));
+  EXPECT_EQ(to_text(e), to_text(e2));
+}
+
+}  // namespace
+}  // namespace oosp

@@ -1,0 +1,61 @@
+// End-to-end smoke: compile a query, run every engine on a tiny ordered
+// and disordered stream, compare with the oracle.
+#include <gtest/gtest.h>
+
+#include "engine/oracle/oracle.hpp"
+#include "runtime/driver.hpp"
+#include "runtime/verify.hpp"
+#include "stream/disorder.hpp"
+#include "workload/synthetic.hpp"
+
+namespace oosp {
+namespace {
+
+TEST(Smoke, AllEnginesAgreeWithOracleOnOrderedStream) {
+  SyntheticWorkload wl({.num_events = 2'000, .num_types = 3, .key_cardinality = 10,
+                        .mean_gap = 5, .seed = 42});
+  const auto events = wl.generate();
+  const CompiledQuery q = compile_query(wl.seq_query(3, true, 200), wl.registry());
+  const auto expected = oracle_keys(q, events);
+  ASSERT_GT(expected.size(), 0u);
+
+  for (const EngineKind kind :
+       {EngineKind::kInOrder, EngineKind::kNfa, EngineKind::kOoo,
+        EngineKind::kKSlackInOrder, EngineKind::kKSlackNfa}) {
+    DriverConfig cfg;
+    cfg.kind = kind;
+    cfg.collect_matches = true;
+    const RunResult r = run_stream(q, events, cfg);
+    const VerifyResult v = verify_against_oracle(q, events, r.collected);
+    EXPECT_TRUE(v.exact()) << to_string(kind) << " missed=" << v.missed
+                           << " false=" << v.false_positives;
+  }
+}
+
+TEST(Smoke, OooEngineExactOnDisorderedStream) {
+  SyntheticWorkload wl({.num_events = 2'000, .num_types = 3, .key_cardinality = 10,
+                        .mean_gap = 5, .seed = 43});
+  const auto ordered = wl.generate();
+  DisorderInjector inj(LatencyModel::uniform(100), 0.2, 99);
+  const auto arrivals = inj.deliver(ordered);
+  ASSERT_GT(DisorderInjector::measure(arrivals).late_events, 0u);
+
+  const CompiledQuery q = compile_query(wl.seq_query(3, true, 200), wl.registry());
+
+  DriverConfig cfg;
+  cfg.kind = EngineKind::kOoo;
+  cfg.options.slack = inj.slack_bound();
+  cfg.collect_matches = true;
+  const RunResult r = run_stream(q, arrivals, cfg);
+  const VerifyResult v = verify_against_oracle(q, arrivals, r.collected);
+  EXPECT_TRUE(v.exact()) << "missed=" << v.missed << " false=" << v.false_positives
+                         << " expected=" << v.expected;
+
+  cfg.kind = EngineKind::kKSlackInOrder;
+  const RunResult rb = run_stream(q, arrivals, cfg);
+  const VerifyResult vb = verify_against_oracle(q, arrivals, rb.collected);
+  EXPECT_TRUE(vb.exact()) << "missed=" << vb.missed << " false=" << vb.false_positives;
+}
+
+}  // namespace
+}  // namespace oosp

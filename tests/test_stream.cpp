@@ -1,0 +1,214 @@
+// Unit tests: latency models, disorder injection, sources, stream clock.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "stream/clock.hpp"
+#include "stream/disorder.hpp"
+#include "stream/source.hpp"
+
+namespace oosp {
+namespace {
+
+std::vector<Event> ordered_events(std::size_t n, Timestamp gap = 10,
+                                  TypeId type = 0, EventId first_id = 0) {
+  std::vector<Event> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    Event e;
+    e.type = type;
+    e.id = first_id + i;
+    e.ts = static_cast<Timestamp>(i + 1) * gap;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+TEST(LatencyModel, NoneAlwaysZero) {
+  Rng r(1);
+  const auto m = LatencyModel::none();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(m.sample(r), 0);
+}
+
+TEST(LatencyModel, FixedAlwaysMax) {
+  Rng r(1);
+  const auto m = LatencyModel::fixed(25);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(m.sample(r), 25);
+}
+
+TEST(LatencyModel, UniformWithinBounds) {
+  Rng r(2);
+  const auto m = LatencyModel::uniform(50);
+  bool saw_low = false, saw_high = false;
+  for (int i = 0; i < 5'000; ++i) {
+    const Timestamp d = m.sample(r);
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 50);
+    saw_low |= d < 10;
+    saw_high |= d > 40;
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(LatencyModel, NormalClamped) {
+  Rng r(3);
+  const auto m = LatencyModel::normal(30.0, 20.0, 60);
+  for (int i = 0; i < 5'000; ++i) {
+    const Timestamp d = m.sample(r);
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 60);
+  }
+}
+
+TEST(LatencyModel, ParetoClampedHeavyTail) {
+  Rng r(4);
+  const auto m = LatencyModel::pareto(5.0, 1.2, 1'000);
+  int big = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const Timestamp d = m.sample(r);
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 1'000);
+    big += d > 100;
+  }
+  EXPECT_GT(big, 50);  // heavy tail produces real outliers
+}
+
+TEST(LatencyModel, InvalidParams) {
+  EXPECT_THROW(LatencyModel::fixed(-1), std::invalid_argument);
+  EXPECT_THROW(LatencyModel::pareto(0.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(LatencyModel::normal(0.0, -1.0, 10), std::invalid_argument);
+}
+
+TEST(DisorderInjector, ZeroFractionPreservesOrder) {
+  const auto in = ordered_events(500);
+  DisorderInjector inj(LatencyModel::uniform(100), 0.0, 5);
+  const auto out = inj.deliver(in);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_TRUE(is_ts_ordered(out));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].id, in[i].id);
+    EXPECT_EQ(out[i].arrival, i);
+  }
+  EXPECT_EQ(DisorderInjector::measure(out).late_events, 0u);
+}
+
+TEST(DisorderInjector, InjectsBoundedDisorder) {
+  const auto in = ordered_events(5'000, 5);
+  DisorderInjector inj(LatencyModel::uniform(200), 0.25, 6);
+  const auto out = inj.deliver(in);
+  const auto stats = DisorderInjector::measure(out);
+  EXPECT_GT(stats.late_events, 100u);
+  EXPECT_LE(stats.max_lateness, inj.slack_bound());
+  EXPECT_GT(stats.ooo_percent(), 1.0);
+  // Same multiset of events.
+  std::vector<EventId> ids;
+  for (const auto& e : out) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(DisorderInjector, DeterministicForSeed) {
+  const auto in = ordered_events(1'000);
+  DisorderInjector a(LatencyModel::uniform(100), 0.3, 9);
+  DisorderInjector b(LatencyModel::uniform(100), 0.3, 9);
+  const auto oa = a.deliver(in);
+  const auto ob = b.deliver(in);
+  for (std::size_t i = 0; i < oa.size(); ++i) EXPECT_EQ(oa[i].id, ob[i].id);
+}
+
+TEST(DisorderInjector, HigherFractionMoreDisorder) {
+  const auto in = ordered_events(5'000, 5);
+  DisorderInjector a(LatencyModel::uniform(100), 0.05, 3);
+  DisorderInjector c(LatencyModel::uniform(100), 0.60, 3);
+  EXPECT_LT(DisorderInjector::measure(a.deliver(in)).late_events,
+            DisorderInjector::measure(c.deliver(in)).late_events);
+}
+
+TEST(DisorderInjector, RequiresOrderedInput) {
+  auto in = ordered_events(10);
+  std::swap(in[2], in[7]);
+  DisorderInjector inj(LatencyModel::none(), 0.0, 1);
+  EXPECT_THROW(inj.deliver(in), std::invalid_argument);
+}
+
+TEST(DisorderInjector, InvalidFraction) {
+  EXPECT_THROW(DisorderInjector(LatencyModel::none(), -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(DisorderInjector(LatencyModel::none(), 1.1, 1), std::invalid_argument);
+}
+
+TEST(VectorSource, DrainsAll) {
+  VectorSource src(ordered_events(5));
+  const auto out = drain(src);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_FALSE(src.next().has_value());
+}
+
+TEST(MergeSource, EqualDelaysPreserveOrder) {
+  std::vector<MergeSource::Input> inputs;
+  inputs.push_back({std::make_unique<VectorSource>(ordered_events(10, 10, 0, 0)), 0});
+  inputs.push_back({std::make_unique<VectorSource>(ordered_events(10, 15, 1, 100)), 0});
+  MergeSource merge(std::move(inputs));
+  EXPECT_EQ(merge.slack_bound(), 0);
+  const auto out = drain(merge);
+  ASSERT_EQ(out.size(), 20u);
+  EXPECT_TRUE(is_ts_ordered(out));
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].arrival, i);
+}
+
+TEST(MergeSource, DelayGapCreatesBoundedDisorder) {
+  std::vector<MergeSource::Input> inputs;
+  inputs.push_back({std::make_unique<VectorSource>(ordered_events(200, 7, 0, 0)), 0});
+  inputs.push_back({std::make_unique<VectorSource>(ordered_events(200, 11, 1, 1'000)), 90});
+  MergeSource merge(std::move(inputs));
+  EXPECT_EQ(merge.slack_bound(), 90);
+  const auto out = drain(merge);
+  const auto stats = DisorderInjector::measure(out);
+  EXPECT_GT(stats.late_events, 0u);
+  EXPECT_LE(stats.max_lateness, merge.slack_bound());
+}
+
+TEST(MergeSource, RejectsBadInputs) {
+  EXPECT_THROW(MergeSource({}), std::invalid_argument);
+  std::vector<MergeSource::Input> inputs;
+  inputs.push_back({nullptr, 0});
+  EXPECT_THROW(MergeSource(std::move(inputs)), std::invalid_argument);
+}
+
+TEST(StreamClock, TracksMaxAndLateness) {
+  StreamClock c(50);
+  Event e;
+  e.ts = 100;
+  EXPECT_EQ(c.observe(e), 0);
+  EXPECT_EQ(c.now(), 100);
+  e.ts = 80;
+  EXPECT_EQ(c.observe(e), 20);  // late by 20
+  EXPECT_EQ(c.now(), 100);
+  e.ts = 130;
+  EXPECT_EQ(c.observe(e), 0);
+  EXPECT_EQ(c.now(), 130);
+  EXPECT_EQ(c.max_lateness(), 20);
+  EXPECT_FALSE(c.contract_violated());
+  e.ts = 10;
+  c.observe(e);
+  EXPECT_TRUE(c.contract_violated());
+}
+
+TEST(StreamClock, SealPoint) {
+  StreamClock c(30);
+  EXPECT_EQ(c.seal_point(), kMinTimestamp);
+  Event e;
+  e.ts = 100;
+  c.observe(e);
+  EXPECT_EQ(c.seal_point(), 100 - 30 - 1);
+  EXPECT_FALSE(c.started() == false);
+}
+
+TEST(StreamClock, FirstEventNeverLate) {
+  StreamClock c(0);
+  Event e;
+  e.ts = -500;
+  EXPECT_EQ(c.observe(e), 0);
+  EXPECT_EQ(c.now(), -500);
+}
+
+}  // namespace
+}  // namespace oosp

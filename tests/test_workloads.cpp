@@ -1,0 +1,150 @@
+// Unit tests: workload generators produce well-formed, ts-ordered streams
+// whose canonical queries compile and yield plausible result counts.
+#include <gtest/gtest.h>
+
+#include "engine/oracle/oracle.hpp"
+#include "stream/disorder.hpp"
+#include "workload/intrusion.hpp"
+#include "workload/rfid.hpp"
+#include "workload/stock.hpp"
+#include "workload/synthetic.hpp"
+
+namespace oosp {
+namespace {
+
+TEST(SyntheticWorkload, GeneratesOrderedUniqueEvents) {
+  SyntheticWorkload wl({.num_events = 3'000, .num_types = 5, .seed = 3});
+  const auto events = wl.generate();
+  ASSERT_EQ(events.size(), 3'000u);
+  EXPECT_TRUE(is_ts_ordered(events));
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].id, events[i].id);
+    EXPECT_LT(events[i - 1].ts, events[i].ts);  // gaps are >= 1
+  }
+  for (const auto& e : events) {
+    EXPECT_LT(e.type, 5u);
+    ASSERT_EQ(e.attrs.size(), 2u);
+    EXPECT_GE(e.attrs[0].as_int(), 0);
+    EXPECT_LT(e.attrs[0].as_int(), 100);
+  }
+}
+
+TEST(SyntheticWorkload, GenerateContinuesSequence) {
+  SyntheticWorkload wl({.num_events = 10, .seed = 4});
+  const auto a = wl.generate(10);
+  const auto b = wl.generate(10);
+  EXPECT_LT(a.back().id, b.front().id);
+  EXPECT_LT(a.back().ts, b.front().ts);
+}
+
+TEST(SyntheticWorkload, TypeWeightsRespected) {
+  SyntheticWorkload wl({.num_events = 10'000, .num_types = 3, .seed = 5,
+                        .type_weights = {1.0, 0.0, 3.0}});
+  const auto events = wl.generate();
+  std::size_t t0 = 0, t1 = 0, t2 = 0;
+  for (const auto& e : events) {
+    t0 += e.type == 0;
+    t1 += e.type == 1;
+    t2 += e.type == 2;
+  }
+  EXPECT_EQ(t1, 0u);
+  EXPECT_NEAR(static_cast<double>(t2) / 10'000.0, 0.75, 0.02);
+}
+
+TEST(SyntheticWorkload, SkewedKeysConcentrate) {
+  SyntheticWorkload uni({.num_events = 10'000, .key_cardinality = 50, .seed = 6});
+  SyntheticWorkload skew(
+      {.num_events = 10'000, .key_cardinality = 50, .key_skew = 1.2, .seed = 6});
+  auto top_key_share = [](const std::vector<Event>& ev) {
+    std::vector<std::size_t> counts(50, 0);
+    for (const auto& e : ev) ++counts[static_cast<std::size_t>(e.attrs[0].as_int())];
+    return static_cast<double>(*std::max_element(counts.begin(), counts.end())) /
+           static_cast<double>(ev.size());
+  };
+  EXPECT_GT(top_key_share(skew.generate()), 2.0 * top_key_share(uni.generate()));
+}
+
+TEST(SyntheticWorkload, QueriesCompile) {
+  SyntheticWorkload wl({.num_types = 5});
+  EXPECT_NO_THROW(compile_query(wl.seq_query(3, true, 100), wl.registry()));
+  EXPECT_NO_THROW(compile_query(wl.seq_query(5, false, 100), wl.registry()));
+  EXPECT_NO_THROW(compile_query(wl.negation_query(100), wl.registry()));
+  EXPECT_NO_THROW(compile_query(wl.seq_query(2, true, 100, 500), wl.registry()));
+  EXPECT_THROW(wl.seq_query(6, true, 100), std::invalid_argument);
+  const CompiledQuery keyed = compile_query(wl.seq_query(3, true, 100), wl.registry());
+  EXPECT_TRUE(keyed.partitionable());
+}
+
+TEST(RfidWorkload, LifecyclesAreConsistent) {
+  RfidWorkload wl({.num_items = 500, .shoplift_fraction = 0.1, .seed = 8});
+  const auto events = wl.generate();
+  EXPECT_TRUE(is_ts_ordered(events));
+  const TypeId shelf = wl.registry().lookup("Shelf");
+  const TypeId checkout = wl.registry().lookup("Checkout");
+  const TypeId exit = wl.registry().lookup("Exit");
+  std::size_t shelves = 0, checkouts = 0, exits = 0;
+  for (const auto& e : events) {
+    shelves += e.type == shelf;
+    checkouts += e.type == checkout;
+    exits += e.type == exit;
+  }
+  EXPECT_EQ(shelves, 500u);
+  EXPECT_EQ(exits, 500u);
+  EXPECT_EQ(checkouts, 500u - wl.expected_shoplifted());
+  EXPECT_GT(wl.expected_shoplifted(), 20u);
+  EXPECT_LT(wl.expected_shoplifted(), 100u);
+}
+
+TEST(RfidWorkload, OracleFindsExactlyTheShoplifters) {
+  RfidWorkload wl({.num_items = 300, .shoplift_fraction = 0.08, .seed = 9});
+  const auto events = wl.generate();
+  // Window large enough to cover any lifecycle in this config.
+  const CompiledQuery q = compile_query(wl.shoplifting_query(100'000), wl.registry());
+  EXPECT_EQ(oracle_keys(q, events).size(), wl.expected_shoplifted());
+  const CompiledQuery qp = compile_query(wl.purchase_query(100'000), wl.registry());
+  EXPECT_EQ(oracle_keys(qp, events).size(), 300u - wl.expected_shoplifted());
+}
+
+TEST(StockWorkload, PricesPositiveAndOrdered) {
+  StockWorkload wl({.num_ticks = 2'000, .num_symbols = 5, .seed = 10});
+  const auto events = wl.generate();
+  ASSERT_EQ(events.size(), 2'000u);
+  EXPECT_TRUE(is_ts_ordered(events));
+  for (const auto& e : events) {
+    EXPECT_GT(e.attrs[1].as_double(), 0.0);
+    EXPECT_GE(e.attrs[2].as_int(), 1);
+  }
+}
+
+TEST(StockWorkload, QueriesCompileAndMatch) {
+  StockWorkload wl({.num_ticks = 400, .num_symbols = 3, .seed = 11});
+  const auto events = wl.generate();
+  const CompiledQuery v = compile_query(wl.vshape_query(60), wl.registry());
+  const CompiledQuery r = compile_query(wl.rising_query(3, 60), wl.registry());
+  // Random walks produce both shapes in abundance.
+  EXPECT_GT(oracle_keys(v, events).size(), 10u);
+  EXPECT_GT(oracle_keys(r, events).size(), 10u);
+  EXPECT_THROW(wl.rising_query(1, 60), std::invalid_argument);
+}
+
+TEST(IntrusionWorkload, AttackSignaturesDetectable) {
+  IntrusionWorkload wl({.num_events = 8'000, .num_ips = 200, .seed = 12});
+  const auto events = wl.generate();
+  ASSERT_EQ(events.size(), 8'000u);
+  EXPECT_TRUE(is_ts_ordered(events));
+  const CompiledQuery q = compile_query(wl.bruteforce_query(3, 200), wl.registry());
+  EXPECT_TRUE(q.partitionable());
+  EXPECT_GT(oracle_keys(q, events).size(), 0u);
+}
+
+TEST(IntrusionWorkload, BackgroundOnlyHasFewSignatures) {
+  IntrusionWorkload quiet({.num_events = 5'000, .num_ips = 400,
+                           .attack_ip_fraction = 0.0, .fail_fraction = 0.02,
+                           .seed = 13});
+  const auto events = quiet.generate();
+  const CompiledQuery q = compile_query(quiet.bruteforce_query(3, 100), quiet.registry());
+  EXPECT_LT(oracle_keys(q, events).size(), 5u);
+}
+
+}  // namespace
+}  // namespace oosp
