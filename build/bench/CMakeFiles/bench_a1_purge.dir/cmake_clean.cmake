@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_purge.dir/bench_a1_purge.cpp.o"
+  "CMakeFiles/bench_a1_purge.dir/bench_a1_purge.cpp.o.d"
+  "bench_a1_purge"
+  "bench_a1_purge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_purge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

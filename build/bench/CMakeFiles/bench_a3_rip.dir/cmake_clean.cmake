@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_rip.dir/bench_a3_rip.cpp.o"
+  "CMakeFiles/bench_a3_rip.dir/bench_a3_rip.cpp.o.d"
+  "bench_a3_rip"
+  "bench_a3_rip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_rip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_throughput_vs_ooo.dir/bench_f1_throughput_vs_ooo.cpp.o"
+  "CMakeFiles/bench_f1_throughput_vs_ooo.dir/bench_f1_throughput_vs_ooo.cpp.o.d"
+  "bench_f1_throughput_vs_ooo"
+  "bench_f1_throughput_vs_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_throughput_vs_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_memory_vs_window.dir/bench_f4_memory_vs_window.cpp.o"
+  "CMakeFiles/bench_f4_memory_vs_window.dir/bench_f4_memory_vs_window.cpp.o.d"
+  "bench_f4_memory_vs_window"
+  "bench_f4_memory_vs_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_memory_vs_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_seq_length.dir/bench_f5_seq_length.cpp.o"
+  "CMakeFiles/bench_f5_seq_length.dir/bench_f5_seq_length.cpp.o.d"
+  "bench_f5_seq_length"
+  "bench_f5_seq_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_seq_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

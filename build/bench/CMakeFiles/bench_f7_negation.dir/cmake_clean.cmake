@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_negation.dir/bench_f7_negation.cpp.o"
+  "CMakeFiles/bench_f7_negation.dir/bench_f7_negation.cpp.o.d"
+  "bench_f7_negation"
+  "bench_f7_negation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_negation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_correctness.dir/bench_t2_correctness.cpp.o"
+  "CMakeFiles/bench_t2_correctness.dir/bench_t2_correctness.cpp.o.d"
+  "bench_t2_correctness"
+  "bench_t2_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_cli.dir/pattern_cli.cpp.o"
+  "CMakeFiles/pattern_cli.dir/pattern_cli.cpp.o.d"
+  "pattern_cli"
+  "pattern_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

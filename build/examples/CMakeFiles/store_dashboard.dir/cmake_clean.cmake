@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_dashboard.dir/store_dashboard.cpp.o"
+  "CMakeFiles/store_dashboard.dir/store_dashboard.cpp.o.d"
+  "store_dashboard"
+  "store_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oosp_common.dir/args.cpp.o"
+  "CMakeFiles/oosp_common.dir/args.cpp.o.d"
+  "CMakeFiles/oosp_common.dir/interner.cpp.o"
+  "CMakeFiles/oosp_common.dir/interner.cpp.o.d"
+  "CMakeFiles/oosp_common.dir/rng.cpp.o"
+  "CMakeFiles/oosp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/oosp_common.dir/stats.cpp.o"
+  "CMakeFiles/oosp_common.dir/stats.cpp.o.d"
+  "CMakeFiles/oosp_common.dir/table.cpp.o"
+  "CMakeFiles/oosp_common.dir/table.cpp.o.d"
+  "liboosp_common.a"
+  "liboosp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oosp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

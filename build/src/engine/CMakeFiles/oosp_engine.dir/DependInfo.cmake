@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/buffer/kslack_engine.cpp" "src/engine/CMakeFiles/oosp_engine.dir/buffer/kslack_engine.cpp.o" "gcc" "src/engine/CMakeFiles/oosp_engine.dir/buffer/kslack_engine.cpp.o.d"
+  "/root/repo/src/engine/core/match.cpp" "src/engine/CMakeFiles/oosp_engine.dir/core/match.cpp.o" "gcc" "src/engine/CMakeFiles/oosp_engine.dir/core/match.cpp.o.d"
+  "/root/repo/src/engine/core/negative_buffer.cpp" "src/engine/CMakeFiles/oosp_engine.dir/core/negative_buffer.cpp.o" "gcc" "src/engine/CMakeFiles/oosp_engine.dir/core/negative_buffer.cpp.o.d"
+  "/root/repo/src/engine/core/schedule.cpp" "src/engine/CMakeFiles/oosp_engine.dir/core/schedule.cpp.o" "gcc" "src/engine/CMakeFiles/oosp_engine.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/engine/engines.cpp" "src/engine/CMakeFiles/oosp_engine.dir/engines.cpp.o" "gcc" "src/engine/CMakeFiles/oosp_engine.dir/engines.cpp.o.d"
+  "/root/repo/src/engine/inorder/inorder_engine.cpp" "src/engine/CMakeFiles/oosp_engine.dir/inorder/inorder_engine.cpp.o" "gcc" "src/engine/CMakeFiles/oosp_engine.dir/inorder/inorder_engine.cpp.o.d"
+  "/root/repo/src/engine/nfa/nfa_engine.cpp" "src/engine/CMakeFiles/oosp_engine.dir/nfa/nfa_engine.cpp.o" "gcc" "src/engine/CMakeFiles/oosp_engine.dir/nfa/nfa_engine.cpp.o.d"
+  "/root/repo/src/engine/ooo/ooo_engine.cpp" "src/engine/CMakeFiles/oosp_engine.dir/ooo/ooo_engine.cpp.o" "gcc" "src/engine/CMakeFiles/oosp_engine.dir/ooo/ooo_engine.cpp.o.d"
+  "/root/repo/src/engine/ooo/sorted_stack.cpp" "src/engine/CMakeFiles/oosp_engine.dir/ooo/sorted_stack.cpp.o" "gcc" "src/engine/CMakeFiles/oosp_engine.dir/ooo/sorted_stack.cpp.o.d"
+  "/root/repo/src/engine/oracle/oracle.cpp" "src/engine/CMakeFiles/oosp_engine.dir/oracle/oracle.cpp.o" "gcc" "src/engine/CMakeFiles/oosp_engine.dir/oracle/oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/oosp_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/oosp_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oosp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

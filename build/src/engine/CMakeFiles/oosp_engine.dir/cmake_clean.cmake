@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oosp_engine.dir/buffer/kslack_engine.cpp.o"
+  "CMakeFiles/oosp_engine.dir/buffer/kslack_engine.cpp.o.d"
+  "CMakeFiles/oosp_engine.dir/core/match.cpp.o"
+  "CMakeFiles/oosp_engine.dir/core/match.cpp.o.d"
+  "CMakeFiles/oosp_engine.dir/core/negative_buffer.cpp.o"
+  "CMakeFiles/oosp_engine.dir/core/negative_buffer.cpp.o.d"
+  "CMakeFiles/oosp_engine.dir/core/schedule.cpp.o"
+  "CMakeFiles/oosp_engine.dir/core/schedule.cpp.o.d"
+  "CMakeFiles/oosp_engine.dir/engines.cpp.o"
+  "CMakeFiles/oosp_engine.dir/engines.cpp.o.d"
+  "CMakeFiles/oosp_engine.dir/inorder/inorder_engine.cpp.o"
+  "CMakeFiles/oosp_engine.dir/inorder/inorder_engine.cpp.o.d"
+  "CMakeFiles/oosp_engine.dir/nfa/nfa_engine.cpp.o"
+  "CMakeFiles/oosp_engine.dir/nfa/nfa_engine.cpp.o.d"
+  "CMakeFiles/oosp_engine.dir/ooo/ooo_engine.cpp.o"
+  "CMakeFiles/oosp_engine.dir/ooo/ooo_engine.cpp.o.d"
+  "CMakeFiles/oosp_engine.dir/ooo/sorted_stack.cpp.o"
+  "CMakeFiles/oosp_engine.dir/ooo/sorted_stack.cpp.o.d"
+  "CMakeFiles/oosp_engine.dir/oracle/oracle.cpp.o"
+  "CMakeFiles/oosp_engine.dir/oracle/oracle.cpp.o.d"
+  "liboosp_engine.a"
+  "liboosp_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oosp_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

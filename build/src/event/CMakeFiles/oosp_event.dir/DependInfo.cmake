@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/event.cpp" "src/event/CMakeFiles/oosp_event.dir/event.cpp.o" "gcc" "src/event/CMakeFiles/oosp_event.dir/event.cpp.o.d"
+  "/root/repo/src/event/schema.cpp" "src/event/CMakeFiles/oosp_event.dir/schema.cpp.o" "gcc" "src/event/CMakeFiles/oosp_event.dir/schema.cpp.o.d"
+  "/root/repo/src/event/value.cpp" "src/event/CMakeFiles/oosp_event.dir/value.cpp.o" "gcc" "src/event/CMakeFiles/oosp_event.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/oosp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

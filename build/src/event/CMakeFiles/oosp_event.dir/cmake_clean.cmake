@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oosp_event.dir/event.cpp.o"
+  "CMakeFiles/oosp_event.dir/event.cpp.o.d"
+  "CMakeFiles/oosp_event.dir/schema.cpp.o"
+  "CMakeFiles/oosp_event.dir/schema.cpp.o.d"
+  "CMakeFiles/oosp_event.dir/value.cpp.o"
+  "CMakeFiles/oosp_event.dir/value.cpp.o.d"
+  "liboosp_event.a"
+  "liboosp_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oosp_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/ast.cpp" "src/query/CMakeFiles/oosp_query.dir/ast.cpp.o" "gcc" "src/query/CMakeFiles/oosp_query.dir/ast.cpp.o.d"
+  "/root/repo/src/query/compiled.cpp" "src/query/CMakeFiles/oosp_query.dir/compiled.cpp.o" "gcc" "src/query/CMakeFiles/oosp_query.dir/compiled.cpp.o.d"
+  "/root/repo/src/query/explain.cpp" "src/query/CMakeFiles/oosp_query.dir/explain.cpp.o" "gcc" "src/query/CMakeFiles/oosp_query.dir/explain.cpp.o.d"
+  "/root/repo/src/query/lexer.cpp" "src/query/CMakeFiles/oosp_query.dir/lexer.cpp.o" "gcc" "src/query/CMakeFiles/oosp_query.dir/lexer.cpp.o.d"
+  "/root/repo/src/query/parser.cpp" "src/query/CMakeFiles/oosp_query.dir/parser.cpp.o" "gcc" "src/query/CMakeFiles/oosp_query.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/oosp_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oosp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oosp_query.dir/ast.cpp.o"
+  "CMakeFiles/oosp_query.dir/ast.cpp.o.d"
+  "CMakeFiles/oosp_query.dir/compiled.cpp.o"
+  "CMakeFiles/oosp_query.dir/compiled.cpp.o.d"
+  "CMakeFiles/oosp_query.dir/explain.cpp.o"
+  "CMakeFiles/oosp_query.dir/explain.cpp.o.d"
+  "CMakeFiles/oosp_query.dir/lexer.cpp.o"
+  "CMakeFiles/oosp_query.dir/lexer.cpp.o.d"
+  "CMakeFiles/oosp_query.dir/parser.cpp.o"
+  "CMakeFiles/oosp_query.dir/parser.cpp.o.d"
+  "liboosp_query.a"
+  "liboosp_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oosp_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

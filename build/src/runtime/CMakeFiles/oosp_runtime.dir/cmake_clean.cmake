@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oosp_runtime.dir/driver.cpp.o"
+  "CMakeFiles/oosp_runtime.dir/driver.cpp.o.d"
+  "CMakeFiles/oosp_runtime.dir/multi_query.cpp.o"
+  "CMakeFiles/oosp_runtime.dir/multi_query.cpp.o.d"
+  "CMakeFiles/oosp_runtime.dir/pipeline.cpp.o"
+  "CMakeFiles/oosp_runtime.dir/pipeline.cpp.o.d"
+  "CMakeFiles/oosp_runtime.dir/verify.cpp.o"
+  "CMakeFiles/oosp_runtime.dir/verify.cpp.o.d"
+  "liboosp_runtime.a"
+  "liboosp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oosp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/disorder.cpp" "src/stream/CMakeFiles/oosp_stream.dir/disorder.cpp.o" "gcc" "src/stream/CMakeFiles/oosp_stream.dir/disorder.cpp.o.d"
+  "/root/repo/src/stream/latency.cpp" "src/stream/CMakeFiles/oosp_stream.dir/latency.cpp.o" "gcc" "src/stream/CMakeFiles/oosp_stream.dir/latency.cpp.o.d"
+  "/root/repo/src/stream/outage.cpp" "src/stream/CMakeFiles/oosp_stream.dir/outage.cpp.o" "gcc" "src/stream/CMakeFiles/oosp_stream.dir/outage.cpp.o.d"
+  "/root/repo/src/stream/source.cpp" "src/stream/CMakeFiles/oosp_stream.dir/source.cpp.o" "gcc" "src/stream/CMakeFiles/oosp_stream.dir/source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/oosp_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oosp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

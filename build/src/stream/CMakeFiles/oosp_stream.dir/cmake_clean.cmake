@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oosp_stream.dir/disorder.cpp.o"
+  "CMakeFiles/oosp_stream.dir/disorder.cpp.o.d"
+  "CMakeFiles/oosp_stream.dir/latency.cpp.o"
+  "CMakeFiles/oosp_stream.dir/latency.cpp.o.d"
+  "CMakeFiles/oosp_stream.dir/outage.cpp.o"
+  "CMakeFiles/oosp_stream.dir/outage.cpp.o.d"
+  "CMakeFiles/oosp_stream.dir/source.cpp.o"
+  "CMakeFiles/oosp_stream.dir/source.cpp.o.d"
+  "liboosp_stream.a"
+  "liboosp_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oosp_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

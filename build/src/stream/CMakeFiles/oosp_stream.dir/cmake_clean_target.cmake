@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboosp_stream.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/intrusion.cpp" "src/workload/CMakeFiles/oosp_workload.dir/intrusion.cpp.o" "gcc" "src/workload/CMakeFiles/oosp_workload.dir/intrusion.cpp.o.d"
+  "/root/repo/src/workload/rfid.cpp" "src/workload/CMakeFiles/oosp_workload.dir/rfid.cpp.o" "gcc" "src/workload/CMakeFiles/oosp_workload.dir/rfid.cpp.o.d"
+  "/root/repo/src/workload/stock.cpp" "src/workload/CMakeFiles/oosp_workload.dir/stock.cpp.o" "gcc" "src/workload/CMakeFiles/oosp_workload.dir/stock.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/oosp_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/oosp_workload.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/oosp_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/oosp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oosp_workload.dir/intrusion.cpp.o"
+  "CMakeFiles/oosp_workload.dir/intrusion.cpp.o.d"
+  "CMakeFiles/oosp_workload.dir/rfid.cpp.o"
+  "CMakeFiles/oosp_workload.dir/rfid.cpp.o.d"
+  "CMakeFiles/oosp_workload.dir/stock.cpp.o"
+  "CMakeFiles/oosp_workload.dir/stock.cpp.o.d"
+  "CMakeFiles/oosp_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/oosp_workload.dir/synthetic.cpp.o.d"
+  "liboosp_workload.a"
+  "liboosp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oosp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

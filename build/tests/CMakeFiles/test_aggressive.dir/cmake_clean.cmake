@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aggressive.dir/test_aggressive.cpp.o"
+  "CMakeFiles/test_aggressive.dir/test_aggressive.cpp.o.d"
+  "test_aggressive"
+  "test_aggressive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aggressive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

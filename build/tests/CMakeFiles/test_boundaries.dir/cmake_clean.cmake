@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_boundaries.dir/test_boundaries.cpp.o"
+  "CMakeFiles/test_boundaries.dir/test_boundaries.cpp.o.d"
+  "test_boundaries"
+  "test_boundaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_boundaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

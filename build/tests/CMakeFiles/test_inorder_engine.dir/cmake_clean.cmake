@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inorder_engine.dir/test_inorder_engine.cpp.o"
+  "CMakeFiles/test_inorder_engine.dir/test_inorder_engine.cpp.o.d"
+  "test_inorder_engine"
+  "test_inorder_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inorder_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

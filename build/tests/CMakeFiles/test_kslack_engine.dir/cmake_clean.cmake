@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kslack_engine.dir/test_kslack_engine.cpp.o"
+  "CMakeFiles/test_kslack_engine.dir/test_kslack_engine.cpp.o.d"
+  "test_kslack_engine"
+  "test_kslack_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kslack_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

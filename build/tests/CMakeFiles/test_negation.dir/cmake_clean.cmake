@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_negation.dir/test_negation.cpp.o"
+  "CMakeFiles/test_negation.dir/test_negation.cpp.o.d"
+  "test_negation"
+  "test_negation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_negation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

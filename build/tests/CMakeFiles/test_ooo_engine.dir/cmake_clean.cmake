@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ooo_engine.dir/test_ooo_engine.cpp.o"
+  "CMakeFiles/test_ooo_engine.dir/test_ooo_engine.cpp.o.d"
+  "test_ooo_engine"
+  "test_ooo_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ooo_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

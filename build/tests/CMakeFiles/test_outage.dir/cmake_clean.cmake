@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_outage.dir/test_outage.cpp.o"
+  "CMakeFiles/test_outage.dir/test_outage.cpp.o.d"
+  "test_outage"
+  "test_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
