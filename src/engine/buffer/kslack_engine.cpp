@@ -10,24 +10,60 @@ KSlackEngine::KSlackEngine(const CompiledQuery& query, MatchSink& sink,
                            EngineOptions options, const EngineFactory& factory)
     : PatternEngine(query, sink, options),
       clock_(options.slack),
+      estimator_(options.slack_estimator, options.slack),
       stamp_(sink, clock_) {
   OOSP_REQUIRE(options.slack >= 0, "slack must be non-negative");
-  inner_ = factory(query, stamp_, options);
+  // The wrapper owns admission: the inner engine sees an already
+  // validated, deduplicated, in-order stream, so running its own gates
+  // would only double-count (and its late policy could never fire).
+  EngineOptions inner_options = options;
+  inner_options.registry = nullptr;
+  inner_options.dedup_by_id = false;
+  inner_options.late_policy = LatePolicy::kAdmit;
+  inner_options.adaptive_slack = false;
+  inner_ = factory(query, stamp_, inner_options);
   OOSP_REQUIRE(inner_ != nullptr, "engine factory returned null");
 }
 
 void KSlackEngine::on_event(const Event& e) {
   ++stats_.events_seen;
+  if (!admission_.admit(e)) return;
   const Timestamp lateness = clock_.observe(e);
   if (lateness > 0) ++stats_.late_events;
-  if (lateness > options_.slack) ++stats_.contract_violations;
+  if (options_.adaptive_slack) {
+    estimator_.observe(lateness);
+    const Timestamp est = estimator_.estimate();
+    if (est > clock_.slack()) {
+      clock_.set_slack(est);
+      ++stats_.slack_grows;
+    } else if (est < clock_.slack()) {
+      // Shrinking only raises the release threshold: more of the buffer
+      // drains now, still in global ts order, and the watermark stays
+      // monotone — safe at any instant (unlike the OOO engine's purge
+      // horizon, nothing here is destroyed early).
+      clock_.set_slack(est);
+      ++stats_.slack_shrinks;
+    }
+  }
+  if (e.ts < release_watermark_) {
+    // Everything at the watermark and below was already released: this
+    // event would reach the inner engine out of order no matter what.
+    ++stats_.contract_violations;
+    if (!admission_.admit_violation(e)) {
+      stats_.note_footprint(buffer_.size() + admission_.quarantine_size() +
+                            inner_->stats().footprint());
+      return;
+    }
+  }
   buffer_.push(e);
   stats_.note_buffered(1);
-  release_up_to(clock_.now() - options_.slack);
-  stats_.note_footprint(buffer_.size() + inner_->stats().footprint());
+  release_up_to(clock_.now() - clock_.slack());
+  stats_.note_footprint(buffer_.size() + admission_.quarantine_size() +
+                        inner_->stats().footprint());
 }
 
 void KSlackEngine::release_up_to(Timestamp threshold) {
+  release_watermark_ = std::max(release_watermark_, threshold);
   while (!buffer_.empty() && buffer_.top().ts <= threshold) {
     inner_->on_event(buffer_.top());
     buffer_.pop();
@@ -36,7 +72,13 @@ void KSlackEngine::release_up_to(Timestamp threshold) {
 }
 
 void KSlackEngine::finish() {
-  release_up_to(kMaxTimestamp);
+  // Drain WITHOUT raising the watermark: end-of-stream is not a release
+  // decision future arrivals could violate.
+  while (!buffer_.empty()) {
+    inner_->on_event(buffer_.top());
+    buffer_.pop();
+    stats_.note_unbuffered(1);
+  }
   inner_->finish();
 }
 
@@ -47,6 +89,13 @@ EngineStats KSlackEngine::stats() const {
   s.events_seen = stats_.events_seen;
   s.late_events = stats_.late_events;
   s.contract_violations = stats_.contract_violations;
+  s.events_dropped_late = stats_.events_dropped_late;
+  s.events_quarantined = stats_.events_quarantined;
+  s.events_rejected = stats_.events_rejected;
+  s.events_deduped = stats_.events_deduped;
+  s.effective_slack = clock_.slack();
+  s.slack_grows = stats_.slack_grows;
+  s.slack_shrinks = stats_.slack_shrinks;
   s.buffered += stats_.buffered;
   s.buffered_peak += stats_.buffered_peak;
   s.footprint_peak = stats_.footprint_peak;

@@ -9,14 +9,27 @@
 // result — in-order or not — waiting out the full slack before it can be
 // detected. The native OOO engine (engine/ooo) removes both costs; the
 // benchmark suite quantifies the gap (R-F1..R-F4).
+//
+// Slack-violation safety net: an event whose timestamp is below the
+// release watermark (the highest release threshold already applied)
+// would reach the inner engine out of order no matter what — the
+// configured LatePolicy decides whether it is forwarded anyway
+// (historical behavior), dropped, or quarantined for
+// drain_quarantine(). With adaptive_slack the effective K follows a
+// windowed lateness quantile: growth holds events back longer
+// (immediately safe); shrink releases earlier and is also always safe
+// here because releases stay globally ts-ordered and the watermark is
+// monotone — a smaller K only narrows what future lateness is tolerated.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <queue>
 
+#include "engine/core/admission.hpp"
 #include "engine/core/engine.hpp"
 #include "stream/clock.hpp"
+#include "stream/slack_estimator.hpp"
 
 namespace oosp {
 
@@ -26,7 +39,9 @@ using EngineFactory = std::function<std::unique_ptr<PatternEngine>(
 class KSlackEngine final : public PatternEngine {
  public:
   // `options.slack` is K. The inner engine is built by `factory` with the
-  // same query/options and this wrapper's clock-stamping sink.
+  // same query/options and this wrapper's clock-stamping sink. Admission
+  // gates (validation, dedup, late policy) run in the wrapper, so the
+  // inner engine's own gates are disabled to avoid double accounting.
   KSlackEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options,
                const EngineFactory& factory);
 
@@ -34,6 +49,9 @@ class KSlackEngine final : public PatternEngine {
   void finish() override;
   std::string name() const override { return "kslack+" + inner_->name(); }
   EngineStats stats() const override;
+  std::vector<Event> drain_quarantine() override {
+    return admission_.drain_quarantine();
+  }
 
  private:
   // Re-stamps detection_clock with the OUTER clock: the inner engine's
@@ -56,8 +74,15 @@ class KSlackEngine final : public PatternEngine {
   void release_up_to(Timestamp threshold);
 
   StreamClock clock_;
+  SlackEstimator estimator_;
+  AdmissionControl admission_{options_, stats_};
   StampSink stamp_;
   std::unique_ptr<PatternEngine> inner_;
+
+  // Highest release threshold ever applied: everything at or below it
+  // has already been fed to the inner engine, so an arriving event with
+  // ts strictly below it can no longer be re-ordered into place.
+  Timestamp release_watermark_ = kMinTimestamp;
 
   struct TsIdGreater {
     bool operator()(const Event& a, const Event& b) const noexcept {

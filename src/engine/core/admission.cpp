@@ -1,0 +1,63 @@
+#include "engine/core/admission.hpp"
+
+namespace oosp {
+
+std::string_view to_string(LatePolicy p) noexcept {
+  switch (p) {
+    case LatePolicy::kAdmit: return "admit";
+    case LatePolicy::kDrop: return "drop";
+    case LatePolicy::kQuarantine: return "quarantine";
+  }
+  return "?";
+}
+
+bool AdmissionControl::schema_ok(const Event& e) const {
+  if (e.type == kInvalidType) return false;
+  const TypeRegistry* reg = options_.registry;
+  if (reg == nullptr) return true;  // only TypeId sanity without a registry
+  if (e.type >= reg->size()) return false;
+  const Schema& schema = reg->schema(e.type);
+  if (e.attrs.size() != schema.field_count()) return false;
+  for (std::size_t i = 0; i < e.attrs.size(); ++i)
+    if (e.attrs[i].type() != schema.field(i).type) return false;
+  return true;
+}
+
+bool AdmissionControl::admit(const Event& e) {
+  if (!schema_ok(e)) {
+    ++stats_.events_rejected;
+    return false;
+  }
+  if (options_.dedup_by_id && !seen_ids_.insert(e.id).second) {
+    ++stats_.events_deduped;
+    return false;
+  }
+  return true;
+}
+
+bool AdmissionControl::admit_violation(const Event& e) {
+  switch (options_.late_policy) {
+    case LatePolicy::kAdmit:
+      return true;
+    case LatePolicy::kDrop:
+      ++stats_.events_dropped_late;
+      return false;
+    case LatePolicy::kQuarantine:
+      if (quarantine_.size() >= options_.quarantine_capacity) {
+        ++stats_.events_dropped_late;  // overflow falls back to drop
+      } else {
+        quarantine_.push_back(e);
+        ++stats_.events_quarantined;
+      }
+      return false;
+  }
+  return true;
+}
+
+std::vector<Event> AdmissionControl::drain_quarantine() {
+  std::vector<Event> out(quarantine_.begin(), quarantine_.end());
+  quarantine_.clear();
+  return out;
+}
+
+}  // namespace oosp

@@ -1,0 +1,53 @@
+// Event admission control shared by every engine implementation.
+//
+// Three independent gates, all off by default so the zero-cost path is
+// unchanged:
+//   * schema validation (EngineOptions::registry) — reject events whose
+//     TypeId is unregistered or whose attribute vector disagrees with the
+//     registered schema, instead of faulting during predicate evaluation;
+//   * duplicate suppression (EngineOptions::dedup_by_id) — at-least-once
+//     transports re-deliver, and a re-delivered event re-runs retroactive
+//     construction, inflating match counts;
+//   * the late policy (EngineOptions::late_policy) — what to do with an
+//     event that violated the slack contract: admit best-effort, drop
+//     with accounting, or quarantine for audit/replay.
+// All accounting lands in the owning engine's EngineStats.
+#pragma once
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/core/engine.hpp"
+
+namespace oosp {
+
+class AdmissionControl {
+ public:
+  // Both references are borrowed from the owning engine and must outlive
+  // this object (engines are pinned: non-copyable, non-movable).
+  AdmissionControl(const EngineOptions& options, EngineStats& stats)
+      : options_(options), stats_(stats) {}
+
+  // Validation + dedup gate, applied to every arrival before it touches
+  // the clock or any engine state. False = skip the event (counted).
+  bool admit(const Event& e);
+
+  // Late-policy gate for an event past the safe horizon (the caller has
+  // already counted the contract violation). True = process it anyway
+  // (kAdmit); false = the event was dropped or quarantined here.
+  bool admit_violation(const Event& e);
+
+  std::vector<Event> drain_quarantine();
+  std::size_t quarantine_size() const noexcept { return quarantine_.size(); }
+
+ private:
+  bool schema_ok(const Event& e) const;
+
+  const EngineOptions& options_;
+  EngineStats& stats_;
+  std::unordered_set<EventId> seen_ids_;
+  std::deque<Event> quarantine_;
+};
+
+}  // namespace oosp

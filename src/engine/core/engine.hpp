@@ -12,8 +12,30 @@
 #include "engine/core/stats.hpp"
 #include "event/event.hpp"
 #include "query/compiled.hpp"
+#include "stream/slack_estimator.hpp"
 
 namespace oosp {
+
+// What to do with an event that arrives later than the engine's safe
+// horizon (lateness beyond the effective K): state it needs may already
+// be purged and results it touches may already be sealed, so it cannot
+// be handled exactly no matter what.
+enum class LatePolicy : std::uint8_t {
+  // Process it best-effort against whatever state survives (historical
+  // behavior). May silently miss matches or mis-sequence results;
+  // EngineStats::contract_violations is the only trace.
+  kAdmit,
+  // Discard it, counted in EngineStats::events_dropped_late. Results over
+  // the admitted prefix stay exact.
+  kDrop,
+  // Divert it to a bounded per-engine buffer the caller can drain via
+  // PatternEngine::drain_quarantine() for audit or replay (e.g. into a
+  // re-run with a larger K). Counted in EngineStats::events_quarantined;
+  // overflow beyond quarantine_capacity falls back to kDrop accounting.
+  kQuarantine,
+};
+
+std::string_view to_string(LatePolicy p) noexcept;
 
 // Tuning knobs shared by the engines; each engine reads the subset that
 // applies to it (documented per field).
@@ -22,6 +44,35 @@ struct EngineOptions {
   // OOO engine (purge horizon + negation sealing) and by the reorder
   // buffer (release threshold). Ignored by the plain in-order engines.
   Timestamp slack = 0;
+
+  // Disposition of events later than the effective slack (OOO engine and
+  // K-slack buffer; the plain in-order engines have no slack contract).
+  LatePolicy late_policy = LatePolicy::kAdmit;
+
+  // kQuarantine only: max events parked for drain_quarantine(); overflow
+  // is dropped with accounting so a pathological stream cannot grow the
+  // quarantine without bound.
+  std::size_t quarantine_capacity = 4096;
+
+  // Adapt the effective K at runtime from observed lateness instead of
+  // trusting `slack` forever (OOO engine and K-slack buffer). `slack`
+  // seeds the estimate; growth applies immediately (always safe), shrink
+  // is deferred to purge boundaries and never rewinds decisions already
+  // made (see DESIGN.md "When K is wrong").
+  bool adaptive_slack = false;
+  SlackEstimatorConfig slack_estimator;
+
+  // Drop events whose EventId was already delivered (at-least-once
+  // transports re-deliver). All engines. Costs one hash-set entry per
+  // distinct admitted id.
+  bool dedup_by_id = false;
+
+  // When set, every arriving event is validated against this registry —
+  // unknown TypeId or an attribute vector that disagrees with the
+  // registered schema (arity or value types) rejects the event with
+  // accounting instead of faulting mid-construction. Borrowed; must
+  // outlive the engine. When null only TypeId sanity is checked.
+  const TypeRegistry* registry = nullptr;
 
   // Events between purge passes. 1 = purge on every event (eager);
   // 0 = never purge (for the ablation that shows why purging matters).
@@ -63,6 +114,11 @@ class PatternEngine {
   virtual void finish() {}
 
   virtual std::string name() const = 0;
+
+  // Removes and returns the events parked by LatePolicy::kQuarantine, in
+  // arrival order — audit them or replay into a fresh engine with a
+  // larger K. Engines without a slack contract return empty.
+  virtual std::vector<Event> drain_quarantine() { return {}; }
 
   // Wrapper engines (e.g. the K-slack reorder buffer) override this to
   // merge their own buffering counters with the wrapped engine's.

@@ -14,10 +14,29 @@ struct EngineStats {
   std::uint64_t events_seen = 0;
   std::uint64_t events_relevant = 0;
   std::uint64_t late_events = 0;
-  // Events later than the configured slack: the K-slack contract the
+  // Events later than the engine's safe horizon: the K-slack contract the
   // engine's purge/sealing decisions rely on was broken — results may be
-  // missing matches whose state was already purged. Monitor this.
+  // missing matches whose state was already purged. What happens to the
+  // violating event itself is EngineOptions::late_policy; each violation
+  // is also counted in exactly one of events_dropped_late /
+  // events_quarantined, or admitted best-effort. Monitor this.
   std::uint64_t contract_violations = 0;
+  // Slack-violating events discarded under LatePolicy::kDrop (including
+  // quarantine overflow under kQuarantine).
+  std::uint64_t events_dropped_late = 0;
+  // Slack-violating events parked for PatternEngine::drain_quarantine()
+  // under LatePolicy::kQuarantine.
+  std::uint64_t events_quarantined = 0;
+  // Events rejected by schema validation (unknown TypeId, attribute
+  // arity/type mismatch) before touching engine state.
+  std::uint64_t events_rejected = 0;
+  // Re-deliveries suppressed by EngineOptions::dedup_by_id.
+  std::uint64_t events_deduped = 0;
+  // Adaptive K-slack: the effective K at last report, and how often the
+  // engine retuned it in either direction.
+  std::int64_t effective_slack = 0;
+  std::uint64_t slack_grows = 0;
+  std::uint64_t slack_shrinks = 0;
 
   std::uint64_t instances_inserted = 0;
   std::uint64_t instances_purged = 0;

@@ -50,6 +50,7 @@ InOrderEngine::Shard& InOrderEngine::shard_for(const Value& key) {
 
 void InOrderEngine::on_event(const Event& e) {
   ++stats_.events_seen;
+  if (!admission_.admit(e)) return;
   if (clock_.observe(e) > 0) ++stats_.late_events;
   const auto steps = query_.steps_for_type(e.type);
   if (steps.empty()) {

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/core/admission.hpp"
 #include "engine/core/engine.hpp"
 #include "engine/core/negative_buffer.hpp"
 #include "stream/clock.hpp"
@@ -61,6 +62,7 @@ class InOrderEngine final : public PatternEngine {
   void maybe_purge();
 
   StreamClock clock_;
+  AdmissionControl admission_{options_, stats_};
   bool partitioned_ = false;
   std::vector<std::size_t> ordinal_of_step_;   // pattern step → ordinal in its class
   std::vector<std::size_t> step_of_positive_;  // positive ordinal → pattern step

@@ -45,6 +45,7 @@ bool NfaEngine::passes_local(std::size_t step, const Event& e) {
 
 void NfaEngine::on_event(const Event& e) {
   ++stats_.events_seen;
+  if (!admission_.admit(e)) return;
   if (clock_.observe(e) > 0) ++stats_.late_events;
   const auto steps = query_.steps_for_type(e.type);
   if (!steps.empty()) {

@@ -17,6 +17,7 @@
 #include <deque>
 #include <vector>
 
+#include "engine/core/admission.hpp"
 #include "engine/core/engine.hpp"
 #include "engine/core/negative_buffer.hpp"
 #include "stream/clock.hpp"
@@ -41,6 +42,7 @@ class NfaEngine final : public PatternEngine {
   void maybe_purge();
 
   StreamClock clock_;
+  AdmissionControl admission_{options_, stats_};
   std::vector<std::size_t> step_of_positive_;
   std::vector<std::size_t> step_of_negated_;
   std::vector<std::size_t> ordinal_of_step_;

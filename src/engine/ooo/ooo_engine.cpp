@@ -8,7 +8,9 @@
 namespace oosp {
 
 OooEngine::OooEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options)
-    : PatternEngine(query, sink, options), clock_(options.slack) {
+    : PatternEngine(query, sink, options),
+      clock_(options.slack),
+      estimator_(options.slack_estimator, options.slack) {
   OOSP_REQUIRE(options.slack >= 0, "slack must be non-negative");
   ordinal_of_step_.assign(query.num_steps(), CompiledStep::npos);
   for (std::size_t s = 0; s < query.num_steps(); ++s) {
@@ -84,11 +86,34 @@ bool OooEngine::passes_local(std::size_t step, const Event& e) {
   return ok;
 }
 
+void OooEngine::maybe_grow_slack() {
+  const Timestamp est = estimator_.estimate();
+  if (est > clock_.slack()) {
+    clock_.set_slack(est);
+    ++stats_.slack_grows;
+  }
+}
+
 void OooEngine::on_event(const Event& e) {
   ++stats_.events_seen;
+  if (!admission_.admit(e)) return;
   const Timestamp lateness = clock_.observe(e);
   if (lateness > 0) ++stats_.late_events;
-  if (lateness > options_.slack) ++stats_.contract_violations;
+  if (options_.adaptive_slack) {
+    estimator_.observe(lateness);
+    maybe_grow_slack();
+  }
+  seal_watermark_ = std::max(seal_watermark_, clock_.seal_point());
+  if (e.ts <= seal_watermark_) {
+    // The effective contract is broken: seal/purge decisions at or above
+    // this timestamp are already final. LatePolicy decides its fate.
+    ++stats_.contract_violations;
+    if (!admission_.admit_violation(e)) {
+      process_pending();
+      stats_.note_footprint(stats_.footprint() + admission_.quarantine_size());
+      return;
+    }
+  }
   for (const std::size_t step : query_.steps_for_type(e.type)) {
     if (!passes_local(step, e)) continue;
     const Value key =
@@ -105,7 +130,13 @@ void OooEngine::on_event(const Event& e) {
   if (!query_.steps_for_type(e.type).empty()) ++stats_.events_relevant;
   process_pending();
   maybe_purge(false);
-  stats_.note_footprint(stats_.footprint());
+  stats_.note_footprint(stats_.footprint() + admission_.quarantine_size());
+}
+
+EngineStats OooEngine::stats() const {
+  EngineStats s = stats_;
+  s.effective_slack = clock_.slack();
+  return s;
 }
 
 void OooEngine::insert_positive(Shard& shard, const Value& key, const Event& e,
@@ -348,12 +379,32 @@ void OooEngine::maybe_purge(bool force) {
     events_since_purge_ = 0;
   }
   if (!clock_.started()) return;
-  // See DESIGN.md §3.3: any future event has ts >= clock − K, and all
-  // match elements fit in a window of width W, so positive state below
-  // clock − K − W is dead. Negatives are consulted until the intervals
-  // that could contain them seal, which happens by clock ≈ ts + W + K;
-  // the extra −1 absorbs the strictness of interval bounds.
-  const Timestamp pos_threshold = clock_.now() - options_.slack - query_.window();
+  // A purge pass is the only point where the effective slack may SHRINK:
+  // growing mid-stream is always safe (it merely defers future purges),
+  // but shrinking advances the horizon, and doing that between purges
+  // would let sealing race ahead of the state the estimator said was
+  // still needed. The watermark keeps the resize monotone either way.
+  if (options_.adaptive_slack) {
+    const Timestamp est = estimator_.estimate();
+    if (est < clock_.slack()) {
+      clock_.set_slack(est);
+      ++stats_.slack_shrinks;
+    }
+    seal_watermark_ = std::max(seal_watermark_, clock_.seal_point());
+  }
+  // See DESIGN.md §3.3: any future admitted event has ts > seal
+  // watermark, and all match elements fit in a window of width W, so
+  // positive state below watermark − W + 1 is dead. Negatives are
+  // consulted until the intervals that could contain them seal, which
+  // happens by clock ≈ ts + W + K; the extra −1 absorbs the strictness
+  // of interval bounds. (With a fixed K this is exactly the paper's
+  // clock − K − W horizon; deriving it from the monotone watermark keeps
+  // adaptive resizes safe — the horizon never moves backwards and never
+  // overtakes a sealing decision.)
+  const Timestamp pos_threshold =
+      seal_watermark_ < kMinTimestamp + query_.window()
+          ? kMinTimestamp + 1
+          : seal_watermark_ - query_.window() + 1;
   const Timestamp neg_threshold = pos_threshold - 1;
   ++stats_.purge_passes;
   if (partitioned_) {

@@ -27,10 +27,21 @@
 //    match (any future event has ts ≥ clock − K, and a shared window of
 //    width W cannot span both); purging runs every purge_period events.
 //
+//  * Slack-violation safety net: all seal/purge decisions are taken
+//    against a MONOTONE watermark (the high-water mark of the clock's
+//    seal point), so retuning K at runtime never rewinds a decision. An
+//    event at or below the watermark broke the effective contract; the
+//    configured LatePolicy decides whether it is admitted best-effort,
+//    dropped, or quarantined for drain_quarantine(). With adaptive_slack
+//    the effective K follows a windowed lateness quantile: growth applies
+//    immediately (only delays future sealing/purging — always safe),
+//    shrink waits for the next purge boundary.
+//
 // Options honoured: slack (K), purge_period, partition_by_key (hash
 // partition all state by the query's equi-join key), cache_rip
 // (incrementally maintained RIPs instead of per-construction binary
-// search).
+// search), late_policy + quarantine_capacity, adaptive_slack +
+// slack_estimator, dedup_by_id, registry (schema validation).
 #pragma once
 
 #include <optional>
@@ -38,10 +49,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/core/admission.hpp"
 #include "engine/core/engine.hpp"
 #include "engine/core/negative_buffer.hpp"
 #include "engine/ooo/sorted_stack.hpp"
 #include "stream/clock.hpp"
+#include "stream/slack_estimator.hpp"
 
 namespace oosp {
 
@@ -53,6 +66,10 @@ class OooEngine final : public PatternEngine {
   void finish() override;
   std::string name() const override {
     return options_.aggressive_negation ? "ooo-aggressive" : "ooo-native";
+  }
+  EngineStats stats() const override;
+  std::vector<Event> drain_quarantine() override {
+    return admission_.drain_quarantine();
   }
 
  private:
@@ -104,10 +121,22 @@ class OooEngine final : public PatternEngine {
   bool sealed(Timestamp interval_end) const noexcept {
     // No future event can fall strictly inside an interval ending at
     // `interval_end` once every timestamp <= interval_end − 1 is sealed.
-    return clock_.seal_point() >= interval_end - 1;
+    // Evaluated against the monotone watermark, not the instantaneous
+    // seal point, so a later slack increase cannot un-seal anything.
+    return seal_watermark_ >= interval_end - 1;
   }
 
+  // Adaptive K: apply estimator growth (safe at any time); called per
+  // event. Shrink is applied inside maybe_purge() only.
+  void maybe_grow_slack();
+
   StreamClock clock_;
+  SlackEstimator estimator_;
+  AdmissionControl admission_{options_, stats_};
+  // High-water mark of clock_.seal_point() over the run: every sealing
+  // and purge decision ever taken used a horizon <= this. An arriving
+  // event with ts <= seal_watermark_ violates the effective contract.
+  Timestamp seal_watermark_ = kMinTimestamp;
   bool partitioned_ = false;
   std::vector<std::size_t> ordinal_of_step_;
   std::vector<std::size_t> step_of_positive_;

@@ -1,0 +1,31 @@
+#include "runtime/degraded.hpp"
+
+#include <algorithm>
+
+#include "engine/oracle/oracle.hpp"
+
+namespace oosp {
+
+DegradedResult run_degraded(const CompiledQuery& query,
+                            std::span<const Event> clean_ordered,
+                            FaultInjector& faults, const DriverConfig& config) {
+  std::vector<Event> arrivals =
+      faults.apply(std::vector<Event>(clean_ordered.begin(), clean_ordered.end()));
+
+  DriverConfig cfg = config;
+  cfg.collect_matches = true;
+
+  DegradedResult result;
+  result.run = run_stream(query, arrivals, cfg);
+  result.faults = faults.stats();
+
+  const std::vector<MatchKey> expected = oracle_keys(query, clean_ordered);
+  std::vector<MatchKey> produced;
+  produced.reserve(result.run.collected.size());
+  for (const Match& m : result.run.collected) produced.push_back(match_key(m));
+  std::sort(produced.begin(), produced.end());
+  result.verify = compare_keys(expected, produced);
+  return result;
+}
+
+}  // namespace oosp

@@ -40,6 +40,7 @@ RunResult run_stream(const CompiledQuery& query, std::span<const Event> arrivals
   engine->finish();
   const auto t1 = std::chrono::steady_clock::now();
 
+  if (config.collect_quarantine) result.quarantined = engine->drain_quarantine();
   result.stats = engine->stats();
   result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   result.events_per_second =

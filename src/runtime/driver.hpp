@@ -21,6 +21,9 @@ struct DriverConfig {
   // Keep full match bodies (tests/verification); otherwise only delay
   // statistics are aggregated.
   bool collect_matches = false;
+  // Drain the engine's quarantine (LatePolicy::kQuarantine) into
+  // RunResult::quarantined before the engine is destroyed.
+  bool collect_quarantine = false;
 };
 
 struct RunResult {
@@ -36,6 +39,7 @@ struct RunResult {
 
   std::vector<Match> collected;            // filled when collect_matches
   std::vector<Match> collected_retractions;  // filled when collect_matches
+  std::vector<Event> quarantined;          // filled when collect_quarantine
 };
 
 RunResult run_stream(const CompiledQuery& query, std::span<const Event> arrivals,

@@ -35,6 +35,12 @@ class StreamClock {
   bool started() const noexcept { return started_; }
   Timestamp now() const noexcept { return started_ ? clock_ : kMinTimestamp; }
   Timestamp slack() const noexcept { return slack_; }
+
+  // Adaptive K-slack support: retunes the slack the seal point is derived
+  // from. Callers that cache seal/purge decisions must keep their own
+  // monotone watermark — raising the slack moves seal_point() backwards,
+  // which never un-seals anything already acted upon.
+  void set_slack(Timestamp slack) noexcept { slack_ = slack; }
   Timestamp max_lateness() const noexcept { return max_lateness_; }
 
   // Largest timestamp t such that no future event can have ts <= t.

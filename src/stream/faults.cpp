@@ -1,0 +1,191 @@
+#include "stream/faults.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "stream/disorder.hpp"
+
+namespace oosp {
+
+namespace {
+
+void reassign_arrivals(std::vector<Event>& stream) {
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    stream[i].arrival = static_cast<ArrivalSeq>(i);
+}
+
+}  // namespace
+
+DuplicateFault::DuplicateFault(double fraction, std::size_t max_gap, std::uint64_t seed)
+    : fraction_(fraction), max_gap_(max_gap), seed_(seed) {
+  OOSP_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "fraction must be in [0,1]");
+  OOSP_REQUIRE(max_gap >= 1, "max_gap must be positive");
+}
+
+std::vector<Event> DuplicateFault::apply(std::vector<Event> stream) {
+  stats_ = FaultStats{};
+  stats_.events_in = stream.size();
+  Rng rng(seed_);
+  // Position keys: originals sit at 2i; a duplicate of i re-delivered
+  // `gap` events later sits at 2(i+gap)+1 — after the original at that
+  // distance but before the next original. Stable sort keeps original
+  // relative order intact.
+  struct Keyed {
+    Event event;
+    std::size_t key;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(stream.size() * 2);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    keyed.push_back(Keyed{stream[i], 2 * i});
+    if (rng.bernoulli(fraction_)) {
+      const std::size_t gap =
+          static_cast<std::size_t>(rng.uniform_int(1, static_cast<std::int64_t>(max_gap_)));
+      keyed.push_back(Keyed{stream[i], 2 * (i + gap) + 1});
+      ++stats_.duplicated;
+    }
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+  std::vector<Event> out;
+  out.reserve(keyed.size());
+  for (Keyed& k : keyed) out.push_back(std::move(k.event));
+  reassign_arrivals(out);
+  stats_.events_out = out.size();
+  return out;
+}
+
+LossFault::LossFault(double fraction, std::uint64_t seed)
+    : fraction_(fraction), seed_(seed) {
+  OOSP_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "fraction must be in [0,1]");
+}
+
+std::vector<Event> LossFault::apply(std::vector<Event> stream) {
+  stats_ = FaultStats{};
+  stats_.events_in = stream.size();
+  Rng rng(seed_);
+  std::vector<Event> out;
+  out.reserve(stream.size());
+  for (Event& e : stream) {
+    if (rng.bernoulli(fraction_)) {
+      ++stats_.lost;
+    } else {
+      out.push_back(std::move(e));
+    }
+  }
+  reassign_arrivals(out);
+  stats_.events_out = out.size();
+  return out;
+}
+
+CorruptionFault::CorruptionFault(double fraction, std::uint64_t seed)
+    : fraction_(fraction), seed_(seed) {
+  OOSP_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "fraction must be in [0,1]");
+}
+
+std::vector<Event> CorruptionFault::apply(std::vector<Event> stream) {
+  stats_ = FaultStats{};
+  stats_.events_in = stream.size();
+  Rng rng(seed_);
+  for (Event& e : stream) {
+    if (!rng.bernoulli(fraction_)) continue;
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        e.type = kInvalidType;  // unregistered type id
+        break;
+      case 1:
+        if (!e.attrs.empty()) {
+          e.attrs.pop_back();  // arity mismatch vs the registered schema
+        } else {
+          e.type = kInvalidType;
+        }
+        break;
+      default:
+        if (!e.attrs.empty()) {
+          e.attrs[0] = Value(std::string("\xff CORRUPT"));  // wrong-typed value
+        } else {
+          e.type = kInvalidType;
+        }
+        break;
+    }
+    ++stats_.corrupted;
+  }
+  reassign_arrivals(stream);
+  stats_.events_out = stream.size();
+  return stream;
+}
+
+ClockSkewFault::ClockSkewFault(std::size_t num_sources, Timestamp max_skew,
+                               std::uint64_t seed)
+    : num_sources_(num_sources), max_skew_(max_skew), seed_(seed) {
+  OOSP_REQUIRE(num_sources >= 1, "need at least one source");
+  OOSP_REQUIRE(max_skew >= 0, "max_skew must be non-negative");
+}
+
+std::vector<Event> ClockSkewFault::apply(std::vector<Event> stream) {
+  stats_ = FaultStats{};
+  stats_.events_in = stream.size();
+  Rng rng(seed_);
+  std::vector<Timestamp> offsets(num_sources_);
+  for (Timestamp& o : offsets) o = rng.uniform_int(-max_skew_, max_skew_);
+  for (Event& e : stream) {
+    const Timestamp offset = offsets[e.id % num_sources_];
+    if (offset != 0) {
+      e.ts += offset;
+      ++stats_.skewed;
+    }
+  }
+  reassign_arrivals(stream);
+  stats_.events_out = stream.size();
+  return stream;
+}
+
+LatencyFault::LatencyFault(LatencyModel model, double ooo_fraction, std::uint64_t seed)
+    : model_(model), ooo_fraction_(ooo_fraction), seed_(seed) {}
+
+std::vector<Event> LatencyFault::apply(std::vector<Event> stream) {
+  stats_ = FaultStats{};
+  stats_.events_in = stream.size();
+  DisorderInjector injector(model_, ooo_fraction_, seed_);
+  std::vector<Event> out = injector.deliver(stream);
+  stats_.events_out = out.size();
+  return out;
+}
+
+OutageFault::OutageFault(OutageConfig config) : config_(config) {}
+
+std::vector<Event> OutageFault::apply(std::vector<Event> stream) {
+  stats_ = FaultStats{};
+  stats_.events_in = stream.size();
+  OutageInjector injector(config_);
+  std::vector<Event> out = injector.deliver(stream);
+  slack_bound_ = injector.slack_bound();
+  stats_.events_out = out.size();
+  return out;
+}
+
+FaultChain& FaultChain::add(std::unique_ptr<FaultInjector> stage) {
+  OOSP_REQUIRE(stage != nullptr, "chain stage must not be null");
+  stages_.push_back(std::move(stage));
+  name_ = "chain(";
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    if (i) name_ += "+";
+    name_ += stages_[i]->name();
+  }
+  name_ += ")";
+  return *this;
+}
+
+std::vector<Event> FaultChain::apply(std::vector<Event> stream) {
+  stats_ = FaultStats{};
+  stats_.events_in = stream.size();
+  for (const auto& stage : stages_) {
+    stream = stage->apply(std::move(stream));
+    stats_.merge(stage->stats());
+  }
+  stats_.events_out = stream.size();
+  return stream;
+}
+
+}  // namespace oosp

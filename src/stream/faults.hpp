@@ -1,0 +1,175 @@
+// Composable fault injection for the simulated delivery path.
+//
+// The latency models (latency.hpp) and outage bursts (outage.hpp) cover
+// the paper's two causes of DISORDER; real transports also duplicate,
+// lose, and corrupt what they carry, and real sources disagree about
+// what time it is. Each fault here is one seeded, deterministic
+// transformation of a delivery sequence; FaultChain stacks any number of
+// them (including the latency/outage models via their adapters) so a
+// test or experiment can assemble exactly the failure cocktail it wants
+// and replay it bit-for-bit from the seeds.
+//
+// Determinism contract: apply() re-seeds from the stage's configured
+// seed on every call, so the same injector applied to the same input
+// always yields the same output — the round-trip property the harness
+// tests rely on. Stages that need ts-ordered input (outage, latency)
+// must come first in a chain; the order-preserving stages (duplicate,
+// loss, corruption, skew) compose anywhere after them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "event/event.hpp"
+#include "stream/latency.hpp"
+#include "stream/outage.hpp"
+
+namespace oosp {
+
+// What the last apply() did, aggregated across a chain.
+struct FaultStats {
+  std::uint64_t events_in = 0;
+  std::uint64_t events_out = 0;
+  std::uint64_t duplicated = 0;  // extra deliveries inserted
+  std::uint64_t lost = 0;        // events removed
+  std::uint64_t corrupted = 0;   // payloads mangled
+  std::uint64_t skewed = 0;      // events with a nonzero clock offset
+
+  void merge(const FaultStats& other) noexcept {
+    duplicated += other.duplicated;
+    lost += other.lost;
+    corrupted += other.corrupted;
+    skewed += other.skewed;
+  }
+};
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  // Transforms a delivery sequence; arrival numbers are reassigned
+  // 0..n−1 on the output. Deterministic per configuration (see above).
+  virtual std::vector<Event> apply(std::vector<Event> stream) = 0;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  // Accounting for the most recent apply().
+  const FaultStats& stats() const noexcept { return stats_; }
+
+ protected:
+  FaultStats stats_;
+};
+
+// At-least-once delivery: each event is re-delivered (same id, ts and
+// payload) with probability `fraction`, the copy landing 1..max_gap
+// positions later in the sequence.
+class DuplicateFault final : public FaultInjector {
+ public:
+  DuplicateFault(double fraction, std::size_t max_gap, std::uint64_t seed);
+  std::vector<Event> apply(std::vector<Event> stream) override;
+  std::string_view name() const noexcept override { return "duplicate"; }
+
+ private:
+  double fraction_;
+  std::size_t max_gap_;
+  std::uint64_t seed_;
+};
+
+// Event loss: each event is dropped with probability `fraction`.
+class LossFault final : public FaultInjector {
+ public:
+  LossFault(double fraction, std::uint64_t seed);
+  std::vector<Event> apply(std::vector<Event> stream) override;
+  std::string_view name() const noexcept override { return "loss"; }
+
+ private:
+  double fraction_;
+  std::uint64_t seed_;
+};
+
+// Payload corruption: each event is mangled with probability `fraction`
+// by one of three mutations — unregistered TypeId, truncated attribute
+// vector, or a wrong-typed attribute value. Engines configured with
+// EngineOptions::registry reject all three with accounting; engines
+// without validation would fault or silently mis-evaluate.
+class CorruptionFault final : public FaultInjector {
+ public:
+  CorruptionFault(double fraction, std::uint64_t seed);
+  std::vector<Event> apply(std::vector<Event> stream) override;
+  std::string_view name() const noexcept override { return "corruption"; }
+
+ private:
+  double fraction_;
+  std::uint64_t seed_;
+};
+
+// Per-source clock skew: events are attributed round-robin by id to
+// `num_sources` logical sources; each source draws one fixed offset in
+// [−max_skew, +max_skew] and every timestamp it emits is shifted by it.
+// Delivery order is unchanged, so skew both reorders timestamps AND
+// moves ground truth — the engine's results are scored against the
+// skewed reality it actually observed.
+class ClockSkewFault final : public FaultInjector {
+ public:
+  ClockSkewFault(std::size_t num_sources, Timestamp max_skew, std::uint64_t seed);
+  std::vector<Event> apply(std::vector<Event> stream) override;
+  std::string_view name() const noexcept override { return "clock-skew"; }
+
+ private:
+  std::size_t num_sources_;
+  Timestamp max_skew_;
+  std::uint64_t seed_;
+};
+
+// Adapter: network latency disorder (DisorderInjector) as a chain stage.
+// Input should be ts-ordered for the K-slack bound to be meaningful.
+class LatencyFault final : public FaultInjector {
+ public:
+  LatencyFault(LatencyModel model, double ooo_fraction, std::uint64_t seed);
+  std::vector<Event> apply(std::vector<Event> stream) override;
+  std::string_view name() const noexcept override { return "latency"; }
+  Timestamp slack_bound() const noexcept { return model_.max_delay; }
+
+ private:
+  LatencyModel model_;
+  double ooo_fraction_;
+  std::uint64_t seed_;
+};
+
+// Adapter: machine-failure bursts (OutageInjector) as a chain stage.
+// Requires ts-ordered input (OutageInjector's own precondition).
+class OutageFault final : public FaultInjector {
+ public:
+  explicit OutageFault(OutageConfig config);
+  std::vector<Event> apply(std::vector<Event> stream) override;
+  std::string_view name() const noexcept override { return "outage"; }
+  // Sound lateness bound for the last apply().
+  Timestamp slack_bound() const noexcept { return slack_bound_; }
+
+ private:
+  OutageConfig config_;
+  Timestamp slack_bound_ = 0;
+};
+
+// Applies its stages in order; stats() aggregates all of them.
+class FaultChain final : public FaultInjector {
+ public:
+  FaultChain() = default;
+
+  FaultChain& add(std::unique_ptr<FaultInjector> stage);
+
+  std::vector<Event> apply(std::vector<Event> stream) override;
+  std::string_view name() const noexcept override { return name_; }
+
+  std::size_t size() const noexcept { return stages_.size(); }
+  const FaultInjector& stage(std::size_t i) const { return *stages_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<FaultInjector>> stages_;
+  std::string name_ = "chain()";
+};
+
+}  // namespace oosp

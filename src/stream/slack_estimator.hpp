@@ -1,0 +1,103 @@
+// Adaptive K-slack estimation from observed lateness.
+//
+// The K-slack contract is only as good as the K someone configured; the
+// paper's own motivation (networking latencies, machine failure) says the
+// true lateness bound drifts at runtime. SlackEstimator watches the
+// lateness of every arrival over a sliding sample window and recommends a
+// slack that covers a configurable quantile of it, times a headroom
+// factor — the dynamic-buffer-sizing approach (Weiss et al., PAPERS.md)
+// adapted to this engine's integer stream time.
+//
+// The estimate is recomputed every `refresh_period` observations (an
+// O(window) selection), so per-event cost is an append into a ring
+// buffer. Consumers decide *when* to apply a recommendation: the engines
+// grow their effective slack immediately (growing is always safe — it
+// only delays purging/sealing) but shrink only at purge boundaries and
+// never below state already finalized (see DESIGN.md "When K is wrong").
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "event/event.hpp"
+
+namespace oosp {
+
+struct SlackEstimatorConfig {
+  double quantile = 0.999;        // lateness quantile the slack must cover
+  double headroom = 1.5;          // multiplier on the quantile estimate
+  std::size_t window = 4096;      // sliding sample window, in events
+  std::size_t refresh_period = 256;  // recompute estimate every N observations
+  Timestamp min_slack = 0;        // floor (never recommend below)
+  Timestamp max_slack = kMaxTimestamp / 4;  // cap (bounds buffer growth)
+};
+
+class SlackEstimator {
+ public:
+  explicit SlackEstimator(SlackEstimatorConfig config = {}, Timestamp initial = 0)
+      : config_(config), estimate_(clamp(initial)) {
+    samples_.reserve(config_.window);
+  }
+
+  // Records one arrival's lateness (0 for in-order events).
+  void observe(Timestamp lateness) noexcept {
+    if (config_.window == 0) return;
+    if (samples_.size() < config_.window) {
+      samples_.push_back(lateness);
+    } else {
+      samples_[next_] = lateness;
+      next_ = (next_ + 1) % config_.window;
+    }
+    if (lateness > estimate_) {
+      // Fast path: an excursion beyond the current estimate is the
+      // leading edge of a spike. Cover it (with headroom) immediately —
+      // waiting out the refresh period would let the rest of the burst
+      // through as violations.
+      estimate_ = clamp(ceil_scaled(lateness));
+    }
+    if (++since_refresh_ >= std::max<std::size_t>(1, config_.refresh_period)) {
+      since_refresh_ = 0;
+      refresh();
+    }
+  }
+
+  // Current recommended K, clamped to [min_slack, max_slack].
+  Timestamp estimate() const noexcept { return estimate_; }
+
+  std::size_t samples() const noexcept { return samples_.size(); }
+
+ private:
+  Timestamp clamp(Timestamp k) const noexcept {
+    return std::min(config_.max_slack, std::max(config_.min_slack, k));
+  }
+
+  Timestamp ceil_scaled(Timestamp lateness) const noexcept {
+    const double covered =
+        static_cast<double>(lateness) * std::max(1.0, config_.headroom);
+    return static_cast<Timestamp>(std::ceil(covered));
+  }
+
+  void refresh() {
+    if (samples_.empty()) return;
+    scratch_ = samples_;
+    const double q = std::min(1.0, std::max(0.0, config_.quantile));
+    const std::size_t rank = std::min(
+        scratch_.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(scratch_.size())));
+    std::nth_element(scratch_.begin(),
+                     scratch_.begin() + static_cast<std::ptrdiff_t>(rank),
+                     scratch_.end());
+    estimate_ = clamp(ceil_scaled(scratch_[rank]));
+  }
+
+  SlackEstimatorConfig config_;
+  std::vector<Timestamp> samples_;  // ring buffer once full
+  std::vector<Timestamp> scratch_;  // reused selection workspace
+  std::size_t next_ = 0;
+  std::size_t since_refresh_ = 0;
+  Timestamp estimate_ = 0;
+};
+
+}  // namespace oosp

@@ -1,0 +1,285 @@
+// Fault-injection harness tests: determinism under fixed seeds, the
+// per-injector contracts (what each fault does and does not change), and
+// composition with the latency/outage disorder models — including the
+// degraded-mode runtime that scores an engine against the clean oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "engine_test_util.hpp"
+#include "runtime/degraded.hpp"
+#include "runtime/driver.hpp"
+#include "stream/faults.hpp"
+
+namespace oosp {
+namespace {
+
+using testutil::make_abcd_registry;
+using testutil::make_event;
+
+// In-order stream of n (A,B) pairs, one match per pair under
+// SEQ(A a, B b) WHERE a.k == b.k WITHIN 10.
+std::vector<Event> make_pairs(const TypeRegistry& reg, std::size_t n) {
+  std::vector<Event> out;
+  out.reserve(n * 2);
+  EventId id = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Timestamp t = 100 + static_cast<Timestamp>(i) * 10;
+    const std::int64_t key = static_cast<std::int64_t>(i);
+    out.push_back(make_event(reg, "A", id++, t, key));
+    out.push_back(make_event(reg, "B", id++, t + 3, key));
+  }
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i].arrival = static_cast<ArrivalSeq>(i);
+  return out;
+}
+
+bool same_delivery(const std::vector<Event>& a, const std::vector<Event>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].ts != b[i].ts || a[i].type != b[i].type ||
+        a[i].arrival != b[i].arrival || a[i].attrs.size() != b[i].attrs.size())
+      return false;
+  }
+  return true;
+}
+
+std::vector<Timestamp> sorted_ts(const std::vector<Event>& v) {
+  std::vector<Timestamp> ts;
+  ts.reserve(v.size());
+  for (const Event& e : v) ts.push_back(e.ts);
+  std::sort(ts.begin(), ts.end());
+  return ts;
+}
+
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultTest() : reg_(make_abcd_registry()), stream_(make_pairs(reg_, 50)) {}
+  TypeRegistry reg_;
+  std::vector<Event> stream_;
+};
+
+// --- determinism: same injector + same input => identical output -------
+
+TEST_F(FaultTest, EveryInjectorIsDeterministicUnderFixedSeed) {
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  injectors.push_back(std::make_unique<DuplicateFault>(0.3, 4, 7));
+  injectors.push_back(std::make_unique<LossFault>(0.2, 7));
+  injectors.push_back(std::make_unique<CorruptionFault>(0.2, 7));
+  injectors.push_back(std::make_unique<ClockSkewFault>(4, 20, 7));
+  injectors.push_back(std::make_unique<LatencyFault>(LatencyModel::uniform(30), 0.5, 7));
+  OutageConfig oc;
+  oc.seed = 7;
+  injectors.push_back(std::make_unique<OutageFault>(oc));
+  for (const auto& inj : injectors) {
+    const auto first = inj->apply(stream_);
+    const auto second = inj->apply(stream_);
+    EXPECT_TRUE(same_delivery(first, second)) << inj->name();
+  }
+}
+
+TEST_F(FaultTest, ChainIsDeterministicUnderFixedSeeds) {
+  auto make_chain = [] {
+    auto chain = std::make_unique<FaultChain>();
+    OutageConfig oc;
+    oc.seed = 11;
+    chain->add(std::make_unique<OutageFault>(oc));
+    chain->add(std::make_unique<DuplicateFault>(0.25, 3, 12));
+    chain->add(std::make_unique<LossFault>(0.1, 13));
+    return chain;
+  };
+  // Two independently constructed chains, not just two apply() calls:
+  // determinism must come from the seeds alone, not shared hidden state.
+  const auto a = make_chain()->apply(stream_);
+  const auto b = make_chain()->apply(stream_);
+  EXPECT_TRUE(same_delivery(a, b));
+}
+
+// --- per-injector contracts -------------------------------------------
+
+TEST_F(FaultTest, DuplicateRedeliversEveryEventAtFractionOne) {
+  DuplicateFault dup(1.0, 3, 42);
+  const auto out = dup.apply(stream_);
+  EXPECT_EQ(out.size(), stream_.size() * 2);
+  EXPECT_EQ(dup.stats().duplicated, stream_.size());
+  EXPECT_EQ(dup.stats().events_in, stream_.size());
+  EXPECT_EQ(dup.stats().events_out, out.size());
+  // Every id delivered exactly twice, payload intact, arrivals reassigned.
+  std::map<EventId, int> count;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].arrival, static_cast<ArrivalSeq>(i));
+    ++count[out[i].id];
+  }
+  for (const auto& [id, c] : count) EXPECT_EQ(c, 2) << "id " << id;
+  // Originals keep their relative order.
+  std::vector<EventId> firsts;
+  std::set<EventId> seen;
+  for (const Event& e : out)
+    if (seen.insert(e.id).second) firsts.push_back(e.id);
+  EXPECT_TRUE(std::is_sorted(firsts.begin(), firsts.end()));
+}
+
+TEST_F(FaultTest, LossDropsEverythingAtFractionOneAndNothingAtZero) {
+  LossFault all(1.0, 5);
+  EXPECT_TRUE(all.apply(stream_).empty());
+  EXPECT_EQ(all.stats().lost, stream_.size());
+
+  LossFault none(0.0, 5);
+  EXPECT_TRUE(same_delivery(none.apply(stream_), stream_));
+  EXPECT_EQ(none.stats().lost, 0u);
+}
+
+TEST_F(FaultTest, CorruptedEventsAreRejectedBySchemaValidation) {
+  CorruptionFault corrupt(1.0, 9);
+  const auto mangled = corrupt.apply(stream_);
+  EXPECT_EQ(corrupt.stats().corrupted, stream_.size());
+
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 10", reg_);
+  EngineOptions opt;
+  opt.slack = 5;
+  opt.registry = &reg_;
+  CollectingSink sink;
+  const auto engine = make_engine(EngineKind::kOoo, q, sink, opt);
+  for (const Event& e : mangled) engine->on_event(e);  // must not fault
+  engine->finish();
+  // All three mutation kinds (bad TypeId, truncated attrs, wrong-typed
+  // value) are caught at admission; nothing reaches matching.
+  EXPECT_EQ(engine->stats().events_rejected, mangled.size());
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST_F(FaultTest, ClockSkewShiftsEachSourceByOneFixedOffset) {
+  const Timestamp kMaxSkew = 25;
+  ClockSkewFault skew(3, kMaxSkew, 17);
+  const auto out = skew.apply(stream_);
+  ASSERT_EQ(out.size(), stream_.size());
+  std::map<EventId, Timestamp> shift;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].id, stream_[i].id);  // delivery order unchanged
+    shift[out[i].id] = out[i].ts - stream_[i].ts;
+  }
+  std::map<EventId, Timestamp> per_source;
+  for (const auto& [id, s] : shift) {
+    EXPECT_LE(std::abs(s), kMaxSkew);
+    const auto [it, inserted] = per_source.emplace(id % 3, s);
+    if (!inserted) {
+      EXPECT_EQ(it->second, s) << "source " << id % 3;
+    }
+  }
+  std::uint64_t nonzero = 0;
+  for (const auto& [id, s] : shift)
+    if (s != 0) ++nonzero;
+  EXPECT_EQ(skew.stats().skewed, nonzero);
+}
+
+TEST_F(FaultTest, LatencyAndOutageAdaptersPreserveTheEventMultiset) {
+  LatencyFault latency(LatencyModel::uniform(30), 0.5, 23);
+  const auto delayed = latency.apply(stream_);
+  EXPECT_EQ(sorted_ts(delayed), sorted_ts(stream_));
+  EXPECT_EQ(latency.slack_bound(), 30);
+
+  OutageConfig oc;
+  oc.outages = 2;
+  oc.min_duration = 40;
+  oc.max_duration = 80;
+  oc.affected_fraction = 0.5;
+  oc.seed = 23;
+  OutageFault outage(oc);
+  const auto flushed = outage.apply(stream_);
+  EXPECT_EQ(sorted_ts(flushed), sorted_ts(stream_));
+  EXPECT_LE(outage.slack_bound(), oc.max_duration);
+}
+
+TEST_F(FaultTest, AdapterSlackBoundIsSufficientForExactResults) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 10", reg_);
+  LatencyFault latency(LatencyModel::uniform(30), 0.7, 31);
+  const auto arrivals = latency.apply(stream_);
+  EngineOptions opt;
+  opt.slack = latency.slack_bound();
+  testutil::expect_exact(EngineKind::kOoo, q, arrivals, opt, "latency adapter");
+}
+
+// --- composition -------------------------------------------------------
+
+TEST_F(FaultTest, ChainComposesWithOutageModelAndAggregatesStats) {
+  FaultChain chain;
+  OutageConfig oc;
+  oc.outages = 2;
+  oc.seed = 3;
+  chain.add(std::make_unique<OutageFault>(oc));
+  chain.add(std::make_unique<DuplicateFault>(0.4, 3, 4));
+  chain.add(std::make_unique<LossFault>(0.2, 5));
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain.name(), "chain(outage+duplicate+loss)");
+
+  const auto out = chain.apply(stream_);
+  const FaultStats& s = chain.stats();
+  EXPECT_EQ(s.events_in, stream_.size());
+  EXPECT_EQ(s.events_out, out.size());
+  EXPECT_EQ(s.duplicated, chain.stage(1).stats().duplicated);
+  EXPECT_EQ(s.lost, chain.stage(2).stats().lost);
+  EXPECT_EQ(out.size(), stream_.size() + s.duplicated - s.lost);
+}
+
+TEST_F(FaultTest, ChainComposesWithLatencyModel) {
+  FaultChain chain;
+  chain.add(std::make_unique<LatencyFault>(LatencyModel::uniform(20), 0.5, 6));
+  chain.add(std::make_unique<ClockSkewFault>(2, 5, 7));
+  chain.add(std::make_unique<DuplicateFault>(0.3, 2, 8));
+  const auto a = chain.apply(stream_);
+  const auto b = chain.apply(stream_);
+  EXPECT_TRUE(same_delivery(a, b));
+  EXPECT_EQ(a.size(), stream_.size() + chain.stats().duplicated);
+}
+
+// --- degraded-mode runtime --------------------------------------------
+
+TEST_F(FaultTest, DegradedRunWithNoFaultsIsExact) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 10", reg_);
+  FaultChain no_faults;
+  DriverConfig cfg;
+  cfg.kind = EngineKind::kOoo;
+  const DegradedResult r = run_degraded(q, stream_, no_faults, cfg);
+  EXPECT_TRUE(r.verify.exact());
+  EXPECT_EQ(r.verify.expected, 50u);
+}
+
+TEST_F(FaultTest, LossShowsUpAsMissedMatches) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 10", reg_);
+  LossFault loss(0.3, 19);
+  DriverConfig cfg;
+  cfg.kind = EngineKind::kOoo;
+  const DegradedResult r = run_degraded(q, stream_, loss, cfg);
+  EXPECT_GT(r.faults.lost, 0u);
+  EXPECT_GT(r.verify.missed, 0u);
+  EXPECT_LT(r.verify.recall(), 1.0);
+  EXPECT_EQ(r.verify.false_positives, 0u);  // loss never fabricates
+}
+
+TEST_F(FaultTest, DuplicatesCostPrecisionUnlessDeduped) {
+  const CompiledQuery q =
+      compile_query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 10", reg_);
+  DuplicateFault dup(1.0, 2, 29);
+  DriverConfig cfg;
+  cfg.kind = EngineKind::kOoo;
+  cfg.options.slack = 5;
+  const DegradedResult naive = run_degraded(q, stream_, dup, cfg);
+  EXPECT_GT(naive.verify.false_positives, 0u);
+  EXPECT_LT(naive.verify.precision(), 1.0);
+
+  cfg.options.dedup_by_id = true;
+  const DegradedResult guarded = run_degraded(q, stream_, dup, cfg);
+  EXPECT_TRUE(guarded.verify.exact());
+  EXPECT_EQ(guarded.run.stats.events_deduped, dup.stats().duplicated);
+}
+
+}  // namespace
+}  // namespace oosp
