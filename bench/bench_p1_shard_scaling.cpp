@@ -1,0 +1,97 @@
+// Experiment R-P1 — shard scaling of the parallel runtime.
+//
+// Fixed: the F6 partitioned workload (3-step keyed query, W = 1000,
+// 10% disorder, high key cardinality so keys spread evenly) pushed
+// through the Session API. Sweeps the shard count over {1, 2, 4, 8}.
+// The query is fully keyed, so every event hashes to exactly one shard
+// and the ordered merge reproduces the single-shard output bit for bit
+// (test_sharded pins that); this benchmark measures what that costs /
+// buys in wall-clock terms.
+//
+// Reported counters:
+//   ev/s      end-to-end events per second (routing + engines + merge)
+//   matches   merged matches delivered to the sink
+//   speedup   ev/s relative to the shards:1 run of the same binary
+//
+// NOTE: on a single-core host the worker threads time-slice one CPU, so
+// shards > 1 can only show queueing overhead, not speedup; run on a
+// multicore host to observe scaling.
+#include <chrono>
+#include <map>
+
+#include "bench_util.hpp"
+#include "runtime/session.hpp"
+
+namespace {
+
+using namespace oosp;
+using benchutil::Scenario;
+
+const Scenario& scenario() {
+  static const Scenario sc = [] {
+    SyntheticConfig cfg;
+    cfg.num_events = 50'000;
+    cfg.num_types = 3;
+    cfg.key_cardinality = 1'024;
+    cfg.mean_gap = 5;
+    cfg.seed = 2001;
+    SyntheticWorkload proto(cfg);
+    return benchutil::make_scenario(cfg, proto.seq_query(3, true, 1'000), 0.10, 300);
+  }();
+  return sc;
+}
+
+double& baseline_evps() {
+  static double evps = 0.0;
+  return evps;
+}
+
+void run_sharded(benchmark::State& state, std::size_t shards) {
+  const Scenario& sc = scenario();
+  std::uint64_t matches = 0;
+  double evps = 0.0;
+  for (auto _ : state) {
+    const auto sink = std::make_shared<CollectingTaggedSink>();
+    Session session(sc.workload->registry(),
+                    SessionConfig{}
+                        .engine(EngineKind::kOoo)
+                        .slack(sc.slack)
+                        .shards(shards)
+                        .query(sc.query->text()),
+                    sink);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Event& e : sc.arrivals) session.on_event(e);
+    session.finish();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (session.shard_count() != shards)
+      state.SkipWithError(session.shard_fallback_reason().c_str());
+    matches = sink->matches().size();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    evps = secs > 0.0 ? static_cast<double>(sc.arrivals.size()) / secs : 0.0;
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sc.arrivals.size()));
+  state.counters["ev/s"] = benchmark::Counter(evps);
+  state.counters["matches"] = benchmark::Counter(static_cast<double>(matches));
+  if (shards == 1) baseline_evps() = evps;
+  if (baseline_evps() > 0.0)
+    state.counters["speedup"] = benchmark::Counter(evps / baseline_evps());
+}
+
+void register_benchmarks() {
+  for (const std::size_t shards : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark(
+        ("P1/session-ooo/shards:" + std::to_string(shards)).c_str(),
+        [shards](benchmark::State& state) { run_sharded(state, shards); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  return oosp::benchutil::run_benchmark_main(argc, argv);
+}

@@ -1,16 +1,21 @@
 // Quickstart: the smallest end-to-end OOSP program.
 //
 // 1. Register event types and their schemas.
-// 2. Compile a pattern query.
-// 3. Feed an (out-of-order!) event stream to the native OOO engine.
-// 4. Receive matches through a sink.
+// 2. Declare a Session: pattern queries + engine configuration.
+// 3. Feed an (out-of-order!) event stream through it.
+// 4. Receive matches through a sink when the session finishes.
+//
+// The Session is the library's front door: it compiles the queries,
+// builds the engines, and (with .shards(N) on a partitionable query
+// set) transparently scales across worker threads with bit-identical
+// output. See examples/store_dashboard.cpp for the lower-level
+// MultiQueryRunner and engine APIs.
 //
 // Build & run:   ./build/examples/quickstart
 #include <iostream>
+#include <memory>
 
-#include "engine/engines.hpp"
-#include "event/event.hpp"
-#include "query/compiled.hpp"
+#include "runtime/session.hpp"
 
 int main() {
   using namespace oosp;
@@ -22,26 +27,29 @@ int main() {
   registry.register_type(
       "Payment", Schema({{"order_id", ValueType::kInt}, {"amount", ValueType::kDouble}}));
 
-  // 2. Pattern: a payment for the same order within 100 ticks of the order.
-  const CompiledQuery query = compile_query(
-      "PATTERN SEQ(Order o, Payment p) "
-      "WHERE o.order_id == p.order_id AND p.amount >= 10 "
-      "WITHIN 100",
-      registry);
-  std::cout << "query: " << query.text() << "\n\n";
+  // 2. Sink: print every detected match. Matches arrive tagged with the
+  //    id of the query that produced them, in deterministic order.
+  struct Printer final : public TaggedSink {
+    void on_match(QueryId, Match&& m) override {
+      std::cout << "match: order #" << m.events[0].attr(0).as_int() << " placed at t="
+                << m.events[0].ts << ", paid at t=" << m.events[1].ts
+                << " (detected with stream-time delay " << m.detection_delay() << ")\n";
+    }
+  };
 
-  // 3. Sink: print every detected match.
-  FunctionSink sink([&](Match&& m) {
-    std::cout << "match: order #" << m.events[0].attr(0).as_int() << " placed at t="
-              << m.events[0].ts << ", paid at t=" << m.events[1].ts
-              << " (detected with stream-time delay " << m.detection_delay() << ")\n";
-  });
-
-  // 4. Engine: the native out-of-order engine with a lateness bound of 50
-  //    ticks — events may arrive up to 50 ticks late and results stay exact.
-  EngineOptions options;
-  options.slack = 50;
-  const auto engine = make_engine(EngineKind::kOoo, query, sink, options);
+  // 3. Session: one pattern — a payment for the same order within 100
+  //    ticks of the order — on the native OOO engine with a lateness
+  //    bound of 50 ticks (events may arrive up to 50 ticks late and
+  //    results stay exact).
+  Session session(registry,
+                  SessionConfig{}
+                      .engine(EngineKind::kOoo)
+                      .slack(50)
+                      .query("PATTERN SEQ(Order o, Payment p) "
+                             "WHERE o.order_id == p.order_id AND p.amount >= 10 "
+                             "WITHIN 100"),
+                  std::make_shared<Printer>());
+  std::cout << "query: " << session.query(0).text() << "\n\n";
 
   auto event = [&](const char* type, EventId id, Timestamp ts, std::int64_t order,
                    double amount) {
@@ -55,14 +63,14 @@ int main() {
 
   // The Payment for order 7 ARRIVES BEFORE its Order — a late event a
   // conventional engine would silently drop on the floor.
-  engine->on_event(event("Payment", 0, 60, 7, 99.5));
-  engine->on_event(event("Order", 1, 40, 7, 99.5));    // late by 20 ticks
-  engine->on_event(event("Order", 2, 70, 8, 15.0));
-  engine->on_event(event("Payment", 3, 90, 8, 15.0));
-  engine->on_event(event("Payment", 4, 95, 9, 2.0));   // below amount filter
-  engine->finish();
+  session.on_event(event("Payment", 0, 60, 7, 99.5));
+  session.on_event(event("Order", 1, 40, 7, 99.5));    // late by 20 ticks
+  session.on_event(event("Order", 2, 70, 8, 15.0));
+  session.on_event(event("Payment", 3, 90, 8, 15.0));
+  session.on_event(event("Payment", 4, 95, 9, 2.0));   // below amount filter
+  session.finish();
 
-  const auto stats = engine->stats();
+  const EngineStats stats = session.total_stats();
   std::cout << "\nprocessed " << stats.events_seen << " events ("
             << stats.late_events << " late), emitted " << stats.matches_emitted
             << " matches, peak state " << stats.footprint_peak << " entries\n";

@@ -10,6 +10,7 @@
 //
 // Build & run:   ./build/examples/stock_monitor
 #include <iostream>
+#include <memory>
 
 #include "engine/engines.hpp"
 #include "runtime/verify.hpp"
@@ -46,20 +47,21 @@ int main() {
       compile_query(exchange_a.vshape_query(60), exchange_a.registry());
   std::cout << "query: " << query.text() << "\n\n";
 
-  CollectingSink sink;
+  const auto sink = std::make_shared<CollectingSink>();
   EngineOptions options;
   options.slack = merged.slack_bound();
-  const auto engine = make_engine(EngineKind::kOoo, query, sink, options);
+  const auto engine = make_engine(
+      EngineKind::kOoo, std::make_shared<const CompiledQuery>(query), sink, options);
   for (const Event& e : arrivals) engine->on_event(e);
   engine->finish();
 
-  const VerifyResult v = verify_against_oracle(query, arrivals, sink.matches());
-  std::cout << "V-shape dips detected: " << sink.size()
+  const VerifyResult v = verify_against_oracle(query, arrivals, sink->matches());
+  std::cout << "V-shape dips detected: " << sink->size()
             << " (oracle agrees: " << (v.exact() ? "yes" : "NO") << ")\n";
 
   // Show a few detected dips.
   std::size_t shown = 0;
-  for (const Match& m : sink.matches()) {
+  for (const Match& m : sink->matches()) {
     if (++shown > 3) break;
     std::cout << "  sym " << m.events[0].attr(0).as_int() << ": "
               << m.events[0].attr(1).as_double() << " -> "
@@ -67,7 +69,7 @@ int main() {
               << m.events[2].attr(1).as_double() << "  (t=" << m.events[0].ts << ".."
               << m.events[2].ts << ")\n";
   }
-  const auto stats = engine->stats();
+  const auto stats = engine->stats_snapshot();
   std::cout << "late events: " << stats.late_events
             << ", peak state: " << stats.footprint_peak << " entries\n";
   return 0;

@@ -12,6 +12,7 @@
 //
 // Build & run:   ./build/examples/store_dashboard
 #include <iostream>
+#include <memory>
 
 #include "common/table.hpp"
 #include "runtime/multi_query.hpp"
@@ -32,7 +33,8 @@ int main() {
       if (q >= counts.size()) counts.resize(q + 1, 0);
       ++counts[q];
     }
-  } dashboard;
+  };
+  const auto dashboard = std::make_shared<Dash>();
 
   MultiQueryRunner runner(store.registry(), dashboard);
   EngineOptions opt;
@@ -63,8 +65,8 @@ int main() {
   for (const auto& row : rows) {
     const auto s = runner.stats(row.id);
     t.add_row({row.name,
-               Table::cell(row.id < dashboard.counts.size()
-                               ? dashboard.counts[row.id]
+               Table::cell(row.id < dashboard->counts.size()
+                               ? dashboard->counts[row.id]
                                : std::uint64_t{0}),
                Table::cell(s.events_seen), Table::cell(s.footprint_peak)});
   }

@@ -6,22 +6,21 @@
 
 namespace oosp {
 
-KSlackEngine::KSlackEngine(const CompiledQuery& query, MatchSink& sink,
-                           EngineOptions options, const EngineFactory& factory)
-    : PatternEngine(query, sink, options),
-      clock_(options.slack),
-      estimator_(options.slack_estimator, options.slack),
-      stamp_(sink, clock_) {
-  OOSP_REQUIRE(options.slack >= 0, "slack must be non-negative");
+KSlackEngine::KSlackEngine(EngineContext ctx, const EngineFactory& factory)
+    : PatternEngine(std::move(ctx)),
+      clock_(options_.slack),
+      estimator_(options_.slack_estimator, options_.slack),
+      stamp_(std::make_shared<StampSink>(sink_, clock_)) {
+  OOSP_REQUIRE(options_.slack >= 0, "slack must be non-negative");
   // The wrapper owns admission: the inner engine sees an already
   // validated, deduplicated, in-order stream, so running its own gates
   // would only double-count (and its late policy could never fire).
-  EngineOptions inner_options = options;
+  EngineOptions inner_options = options_;
   inner_options.registry = nullptr;
   inner_options.dedup_by_id = false;
   inner_options.late_policy = LatePolicy::kAdmit;
   inner_options.adaptive_slack = false;
-  inner_ = factory(query, stamp_, inner_options);
+  inner_ = factory(EngineContext{ctx_.query, stamp_, inner_options});
   OOSP_REQUIRE(inner_ != nullptr, "engine factory returned null");
 }
 
@@ -51,7 +50,7 @@ void KSlackEngine::on_event(const Event& e) {
     ++stats_.contract_violations;
     if (!admission_.admit_violation(e)) {
       stats_.note_footprint(buffer_.size() + admission_.quarantine_size() +
-                            inner_->stats().footprint());
+                            inner_->stats_snapshot().footprint());
       return;
     }
   }
@@ -59,7 +58,7 @@ void KSlackEngine::on_event(const Event& e) {
   stats_.note_buffered(1);
   release_up_to(clock_.now() - clock_.slack());
   stats_.note_footprint(buffer_.size() + admission_.quarantine_size() +
-                        inner_->stats().footprint());
+                        inner_->stats_snapshot().footprint());
 }
 
 void KSlackEngine::release_up_to(Timestamp threshold) {
@@ -82,8 +81,8 @@ void KSlackEngine::finish() {
   inner_->finish();
 }
 
-EngineStats KSlackEngine::stats() const {
-  EngineStats s = inner_->stats();
+EngineStats KSlackEngine::stats_snapshot() const {
+  EngineStats s = inner_->stats_snapshot();
   // Arrival-side counters come from the wrapper; the inner engine only
   // ever sees an in-order stream.
   s.events_seen = stats_.events_seen;

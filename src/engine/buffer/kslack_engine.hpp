@@ -33,22 +33,21 @@
 
 namespace oosp {
 
-using EngineFactory = std::function<std::unique_ptr<PatternEngine>(
-    const CompiledQuery&, MatchSink&, EngineOptions)>;
+using EngineFactory = std::function<std::unique_ptr<PatternEngine>(EngineContext)>;
 
 class KSlackEngine final : public PatternEngine {
  public:
-  // `options.slack` is K. The inner engine is built by `factory` with the
-  // same query/options and this wrapper's clock-stamping sink. Admission
-  // gates (validation, dedup, late policy) run in the wrapper, so the
-  // inner engine's own gates are disabled to avoid double accounting.
-  KSlackEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options,
-               const EngineFactory& factory);
+  // `ctx.options.slack` is K. The inner engine is built by `factory` with
+  // the same query/options and this wrapper's clock-stamping sink.
+  // Admission gates (validation, dedup, late policy) run in the wrapper,
+  // so the inner engine's own gates are disabled to avoid double
+  // accounting.
+  KSlackEngine(EngineContext ctx, const EngineFactory& factory);
 
   void on_event(const Event& e) override;
   void finish() override;
   std::string name() const override { return "kslack+" + inner_->name(); }
-  EngineStats stats() const override;
+  EngineStats stats_snapshot() const override;
   std::vector<Event> drain_quarantine() override {
     return admission_.drain_quarantine();
   }
@@ -76,7 +75,9 @@ class KSlackEngine final : public PatternEngine {
   StreamClock clock_;
   SlackEstimator estimator_;
   AdmissionControl admission_{options_, stats_};
-  StampSink stamp_;
+  // Shared so it can be handed to the inner engine's EngineContext; it
+  // forwards into this wrapper's own (co-owned) downstream sink.
+  std::shared_ptr<StampSink> stamp_;
   std::unique_ptr<PatternEngine> inner_;
 
   // Highest release threshold ever applied: everything at or below it

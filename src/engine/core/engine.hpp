@@ -1,13 +1,16 @@
 // The engine interface every matcher implements.
 //
-// Lifecycle: construct with a compiled query (borrowed; must outlive the
-// engine) and a sink (borrowed likewise); feed events in ARRIVAL order
-// via on_event(); call finish() exactly once at end of stream so engines
-// that hold results for negation sealing or reorder buffering can flush.
+// Lifecycle: construct from an EngineContext — the engine co-owns its
+// compiled query and sink through shared_ptrs, so no caller-managed
+// lifetimes are involved; feed events in ARRIVAL order via on_event();
+// call finish() exactly once at end of stream so engines that hold
+// results for negation sealing or reorder buffering can flush.
 #pragma once
 
+#include <memory>
 #include <string>
 
+#include "common/contracts.hpp"
 #include "engine/core/sink.hpp"
 #include "engine/core/stats.hpp"
 #include "event/event.hpp"
@@ -101,10 +104,28 @@ struct EngineOptions {
   bool aggressive_negation = false;
 };
 
+// Everything an engine needs to run: the compiled query, the sink that
+// receives results, and the tuning options. Query and sink are held by
+// shared_ptr — the engine co-owns them, so the old footguns (a sink
+// destroyed before the engine, a query compiled on the stack and
+// dangling) are gone by construction. Build one inline at the
+// make_engine call site:
+//
+//   auto ctx = EngineContext{compile_query_shared(text, registry),
+//                            std::make_shared<CollectingSink>(), options};
+struct EngineContext {
+  std::shared_ptr<const CompiledQuery> query;
+  std::shared_ptr<MatchSink> sink;
+  EngineOptions options;
+};
+
 class PatternEngine {
  public:
-  PatternEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options)
-      : query_(query), sink_(sink), options_(options) {}
+  explicit PatternEngine(EngineContext ctx)
+      : ctx_(std::move(ctx)),
+        query_(checked_query(ctx_)),
+        sink_(checked_sink(ctx_)),
+        options_(ctx_.options) {}
   virtual ~PatternEngine() = default;
 
   PatternEngine(const PatternEngine&) = delete;
@@ -120,11 +141,25 @@ class PatternEngine {
   // larger K. Engines without a slack contract return empty.
   virtual std::vector<Event> drain_quarantine() { return {}; }
 
-  // Wrapper engines (e.g. the K-slack reorder buffer) override this to
-  // merge their own buffering counters with the wrapped engine's.
-  virtual EngineStats stats() const { return stats_; }
+  // Consistent point-in-time copy of the counters. Wrapper engines (e.g.
+  // the K-slack reorder buffer) override this to merge their own
+  // buffering counters with the wrapped engine's. Safe to call from the
+  // thread driving on_event at any time; under the sharded runtime each
+  // engine is owned by exactly one worker thread, which snapshots after
+  // its last on_event/finish — cross-shard aggregation then merges the
+  // snapshots with EngineStats::operator+= after the workers are joined.
+  virtual EngineStats stats_snapshot() const { return stats_; }
+
+  [[deprecated("use stats_snapshot()")]] EngineStats stats() const {
+    return stats_snapshot();
+  }
+
   const CompiledQuery& query() const noexcept { return query_; }
   const EngineOptions& options() const noexcept { return options_; }
+  const std::shared_ptr<MatchSink>& sink_ptr() const noexcept { return ctx_.sink; }
+  const std::shared_ptr<const CompiledQuery>& query_ptr() const noexcept {
+    return ctx_.query;
+  }
 
  protected:
   void emit(Match&& m) {
@@ -132,6 +167,19 @@ class PatternEngine {
     sink_.on_match(std::move(m));
   }
 
+ private:
+  static const CompiledQuery& checked_query(const EngineContext& ctx) {
+    OOSP_REQUIRE(ctx.query != nullptr, "EngineContext.query is null");
+    return *ctx.query;
+  }
+  static MatchSink& checked_sink(const EngineContext& ctx) {
+    OOSP_REQUIRE(ctx.sink != nullptr, "EngineContext.sink is null");
+    return *ctx.sink;
+  }
+
+ protected:
+  EngineContext ctx_;
+  // Hot-path aliases into ctx_ so subclass code never chases a shared_ptr.
   const CompiledQuery& query_;
   MatchSink& sink_;
   EngineOptions options_;

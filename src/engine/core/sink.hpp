@@ -1,4 +1,36 @@
 // Match sinks: where engines deliver results.
+//
+// Two sink interfaces exist, one per routing granularity, with the SAME
+// delivery conventions:
+//
+//   MatchSink   — single-engine delivery (one query, no tagging).
+//   TaggedSink  — multi-query delivery (Session / MultiQueryRunner /
+//                 ShardedRunner); identical signatures plus a leading
+//                 QueryId identifying the originating query.
+//
+// ## The retraction contract (normative for both interfaces)
+//
+// `on_match(Match&&)` transfers ownership: the match is MOVED into the
+// sink, which may store or destroy it freely. Every emission is final
+// unless the producing engine runs the aggressive negation policy
+// (EngineOptions::aggressive_negation), in which case a later
+// `on_retract(const Match&)` may revise it:
+//
+//   * on_retract passes the match by const reference — it is a
+//     NOTIFICATION carrying the identity of a previously delivered
+//     match, not a transfer of a new result. Identify the victim by
+//     match_key(m) (the event ids bound to positive steps); the sink
+//     must not assume the reference stays valid after the call returns.
+//   * A retraction always refers to a match already delivered via
+//     on_match with the same key, arrives before the engine's finish()
+//     returns, and is issued at most once per emission.
+//   * The net result set (emissions minus retractions, as multisets of
+//     match keys) equals what the conservative policy would have
+//     emitted. Sinks that cannot tolerate revisions (e.g. pipeline
+//     composition into a downstream engine) should refuse retractions
+//     loudly rather than ignore them — see CompositeEmitter.
+//   * The default implementations ignore retractions, so purely
+//     conservative pipelines need not care.
 #pragma once
 
 #include <algorithm>
@@ -16,11 +48,68 @@ class MatchSink {
   virtual ~MatchSink() = default;
   virtual void on_match(Match&& m) = 0;
 
-  // Revision of an earlier on_match: the engine has learned (from a late
-  // negative event) that the match is invalid. Only engines running the
-  // aggressive output policy ever call this; the default ignores it, so
-  // conservative pipelines need not care.
+  // See "The retraction contract" above. Only engines running the
+  // aggressive output policy ever call this.
   virtual void on_retract(const Match& m) { (void)m; }
+};
+
+// Identifies a registered query inside a Session / multi-query runner;
+// assigned densely in registration order starting at 0.
+using QueryId = std::size_t;
+
+struct TaggedMatch {
+  QueryId query = 0;
+  Match match;
+};
+
+// Multi-query delivery interface; same conventions as MatchSink (see the
+// retraction contract above), tagged with the originating query.
+class TaggedSink {
+ public:
+  virtual ~TaggedSink() = default;
+  virtual void on_match(QueryId query, Match&& m) = 0;
+  virtual void on_retract(QueryId query, const Match& m) {
+    (void)query;
+    (void)m;
+  }
+};
+
+// Stores every tagged match (and retraction) — tests, and the per-shard
+// collection stage of the sharded runtime.
+class CollectingTaggedSink final : public TaggedSink {
+ public:
+  void on_match(QueryId query, Match&& m) override {
+    matches_.push_back(TaggedMatch{query, std::move(m)});
+  }
+  void on_retract(QueryId query, const Match& m) override {
+    retracted_.push_back(TaggedMatch{query, m});
+  }
+
+  const std::vector<TaggedMatch>& matches() const noexcept { return matches_; }
+  const std::vector<TaggedMatch>& retracted() const noexcept { return retracted_; }
+
+  std::vector<MatchKey> keys_for(QueryId query) const {
+    std::vector<MatchKey> keys;
+    for (const TaggedMatch& tm : matches_)
+      if (tm.query == query) keys.push_back(match_key(tm.match));
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  std::vector<TaggedMatch> take() {
+    std::vector<TaggedMatch> out = std::move(matches_);
+    matches_.clear();
+    return out;
+  }
+  std::vector<TaggedMatch> take_retracted() {
+    std::vector<TaggedMatch> out = std::move(retracted_);
+    retracted_.clear();
+    return out;
+  }
+
+ private:
+  std::vector<TaggedMatch> matches_;
+  std::vector<TaggedMatch> retracted_;
 };
 
 // Discards matches (pure-throughput benchmarking).

@@ -88,6 +88,48 @@ struct EngineStats {
     ++pending_matches;
     pending_peak = pending_matches > pending_peak ? pending_matches : pending_peak;
   }
+
+  // Cross-shard / cross-engine aggregation. Counters and gauges add;
+  // peaks add too — the shards run concurrently, so the sum is the
+  // correct upper bound on their combined high-water mark (per-shard
+  // peaks need not coincide in time, so the true combined peak is <= the
+  // sum). effective_slack is a tuning gauge, not a counter: the merge
+  // keeps the maximum, i.e. the most conservative K any shard settled on.
+  EngineStats& operator+=(const EngineStats& o) noexcept {
+    events_seen += o.events_seen;
+    events_relevant += o.events_relevant;
+    late_events += o.late_events;
+    contract_violations += o.contract_violations;
+    events_dropped_late += o.events_dropped_late;
+    events_quarantined += o.events_quarantined;
+    events_rejected += o.events_rejected;
+    events_deduped += o.events_deduped;
+    effective_slack = o.effective_slack > effective_slack ? o.effective_slack
+                                                          : effective_slack;
+    slack_grows += o.slack_grows;
+    slack_shrinks += o.slack_shrinks;
+    instances_inserted += o.instances_inserted;
+    instances_purged += o.instances_purged;
+    current_instances += o.current_instances;
+    peak_instances += o.peak_instances;
+    buffered += o.buffered;
+    buffered_peak += o.buffered_peak;
+    pending_matches += o.pending_matches;
+    pending_peak += o.pending_peak;
+    matches_emitted += o.matches_emitted;
+    matches_cancelled += o.matches_cancelled;
+    matches_retracted += o.matches_retracted;
+    construction_visits += o.construction_visits;
+    predicate_evals += o.predicate_evals;
+    purge_passes += o.purge_passes;
+    footprint_peak += o.footprint_peak;
+    return *this;
+  }
 };
+
+inline EngineStats operator+(EngineStats a, const EngineStats& b) noexcept {
+  a += b;
+  return a;
+}
 
 }  // namespace oosp

@@ -19,27 +19,22 @@ std::string_view to_string(EngineKind k) noexcept {
   return "?";
 }
 
-std::unique_ptr<PatternEngine> make_engine(EngineKind kind, const CompiledQuery& query,
-                                           MatchSink& sink, EngineOptions options) {
+std::unique_ptr<PatternEngine> make_engine(EngineKind kind, EngineContext ctx) {
   switch (kind) {
     case EngineKind::kInOrder:
-      return std::make_unique<InOrderEngine>(query, sink, options);
+      return std::make_unique<InOrderEngine>(std::move(ctx));
     case EngineKind::kNfa:
-      return std::make_unique<NfaEngine>(query, sink, options);
+      return std::make_unique<NfaEngine>(std::move(ctx));
     case EngineKind::kOoo:
-      return std::make_unique<OooEngine>(query, sink, options);
+      return std::make_unique<OooEngine>(std::move(ctx));
     case EngineKind::kKSlackInOrder:
-      return std::make_unique<KSlackEngine>(
-          query, sink, options,
-          [](const CompiledQuery& q, MatchSink& s, EngineOptions o) {
-            return std::make_unique<InOrderEngine>(q, s, o);
-          });
+      return std::make_unique<KSlackEngine>(std::move(ctx), [](EngineContext inner) {
+        return std::make_unique<InOrderEngine>(std::move(inner));
+      });
     case EngineKind::kKSlackNfa:
-      return std::make_unique<KSlackEngine>(
-          query, sink, options,
-          [](const CompiledQuery& q, MatchSink& s, EngineOptions o) {
-            return std::make_unique<NfaEngine>(q, s, o);
-          });
+      return std::make_unique<KSlackEngine>(std::move(ctx), [](EngineContext inner) {
+        return std::make_unique<NfaEngine>(std::move(inner));
+      });
   }
   OOSP_CHECK(false, "unknown engine kind");
   return nullptr;

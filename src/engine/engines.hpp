@@ -1,5 +1,8 @@
-// Factory over every engine in the repository — the convenient entry
-// point for examples, tests and benchmarks that sweep engines.
+// Factory over every engine in the repository — the single entry point
+// through which examples, tests, benchmarks and the Session runtime
+// construct engines. Construction takes an EngineContext (shared
+// ownership of query and sink — see engine/core/engine.hpp), so no
+// borrowed raw pointers cross the API boundary.
 #pragma once
 
 #include <memory>
@@ -19,7 +22,14 @@ enum class EngineKind : std::uint8_t {
 
 std::string_view to_string(EngineKind k) noexcept;
 
-std::unique_ptr<PatternEngine> make_engine(EngineKind kind, const CompiledQuery& query,
-                                           MatchSink& sink, EngineOptions options = {});
+std::unique_ptr<PatternEngine> make_engine(EngineKind kind, EngineContext ctx);
+
+// Convenience overload assembling the context in place.
+inline std::unique_ptr<PatternEngine> make_engine(
+    EngineKind kind, std::shared_ptr<const CompiledQuery> query,
+    std::shared_ptr<MatchSink> sink, EngineOptions options = {}) {
+  return make_engine(kind, EngineContext{std::move(query), std::move(sink),
+                                         std::move(options)});
+}
 
 }  // namespace oosp

@@ -27,7 +27,7 @@ namespace oosp {
 
 class InOrderEngine final : public PatternEngine {
  public:
-  InOrderEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options = {});
+  explicit InOrderEngine(EngineContext ctx);
 
   void on_event(const Event& e) override;
   std::string name() const override { return "inorder-ssc"; }

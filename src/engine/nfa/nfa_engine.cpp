@@ -7,8 +7,8 @@
 
 namespace oosp {
 
-NfaEngine::NfaEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options)
-    : PatternEngine(query, sink, options) {
+NfaEngine::NfaEngine(EngineContext ctx) : PatternEngine(std::move(ctx)) {
+  const CompiledQuery& query = query_;
   ordinal_of_step_.assign(query.num_steps(), CompiledStep::npos);
   for (std::size_t s = 0; s < query.num_steps(); ++s) {
     if (query.step(s).negated) {

@@ -26,7 +26,7 @@ namespace oosp {
 
 class NfaEngine final : public PatternEngine {
  public:
-  NfaEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options = {});
+  explicit NfaEngine(EngineContext ctx);
 
   void on_event(const Event& e) override;
   std::string name() const override { return "nfa-runs"; }

@@ -7,11 +7,12 @@
 
 namespace oosp {
 
-OooEngine::OooEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options)
-    : PatternEngine(query, sink, options),
-      clock_(options.slack),
-      estimator_(options.slack_estimator, options.slack) {
-  OOSP_REQUIRE(options.slack >= 0, "slack must be non-negative");
+OooEngine::OooEngine(EngineContext ctx)
+    : PatternEngine(std::move(ctx)),
+      clock_(options_.slack),
+      estimator_(options_.slack_estimator, options_.slack) {
+  OOSP_REQUIRE(options_.slack >= 0, "slack must be non-negative");
+  const CompiledQuery& query = query_;
   ordinal_of_step_.assign(query.num_steps(), CompiledStep::npos);
   for (std::size_t s = 0; s < query.num_steps(); ++s) {
     if (query.step(s).negated) {
@@ -133,7 +134,7 @@ void OooEngine::on_event(const Event& e) {
   stats_.note_footprint(stats_.footprint() + admission_.quarantine_size());
 }
 
-EngineStats OooEngine::stats() const {
+EngineStats OooEngine::stats_snapshot() const {
   EngineStats s = stats_;
   s.effective_slack = clock_.slack();
   return s;

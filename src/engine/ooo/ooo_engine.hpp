@@ -60,14 +60,14 @@ namespace oosp {
 
 class OooEngine final : public PatternEngine {
  public:
-  OooEngine(const CompiledQuery& query, MatchSink& sink, EngineOptions options = {});
+  explicit OooEngine(EngineContext ctx);
 
   void on_event(const Event& e) override;
   void finish() override;
   std::string name() const override {
     return options_.aggressive_negation ? "ooo-aggressive" : "ooo-native";
   }
-  EngineStats stats() const override;
+  EngineStats stats_snapshot() const override;
   std::vector<Event> drain_quarantine() override {
     return admission_.drain_quarantine();
   }

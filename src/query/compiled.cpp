@@ -307,4 +307,9 @@ CompiledQuery compile_query(std::string_view text, const TypeRegistry& registry)
   return compile_query(parse_query(text), registry);
 }
 
+std::shared_ptr<const CompiledQuery> compile_query_shared(std::string_view text,
+                                                          const TypeRegistry& registry) {
+  return std::make_shared<const CompiledQuery>(compile_query(text, registry));
+}
+
 }  // namespace oosp

@@ -21,6 +21,7 @@
 // any name lookups or type errors at runtime.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -149,5 +150,9 @@ CompiledQuery compile_query(const ParsedQuery& parsed, const TypeRegistry& regis
 
 // Convenience: parse + compile.
 CompiledQuery compile_query(std::string_view text, const TypeRegistry& registry);
+
+// Parse + compile into the shared form EngineContext / Session take.
+std::shared_ptr<const CompiledQuery> compile_query_shared(std::string_view text,
+                                                          const TypeRegistry& registry);
 
 }  // namespace oosp

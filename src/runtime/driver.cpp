@@ -1,6 +1,7 @@
 #include "runtime/driver.hpp"
 
 #include <chrono>
+#include <memory>
 
 namespace oosp {
 
@@ -31,8 +32,13 @@ class DriverSink final : public MatchSink {
 RunResult run_stream(const CompiledQuery& query, std::span<const Event> arrivals,
                      const DriverConfig& config) {
   RunResult result;
-  DriverSink sink(result, config.collect_matches);
-  const auto engine = make_engine(config.kind, query, sink, config.options);
+  // The driver's borrowed-reference API predates EngineContext shared
+  // ownership; one copy of the compiled query per run is negligible next
+  // to streaming the events through it.
+  const auto engine =
+      make_engine(config.kind, std::make_shared<const CompiledQuery>(query),
+                  std::make_shared<DriverSink>(result, config.collect_matches),
+                  config.options);
   result.engine_name = engine->name();
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -41,7 +47,7 @@ RunResult run_stream(const CompiledQuery& query, std::span<const Event> arrivals
   const auto t1 = std::chrono::steady_clock::now();
 
   if (config.collect_quarantine) result.quarantined = engine->drain_quarantine();
-  result.stats = engine->stats();
+  result.stats = engine->stats_snapshot();
   result.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   result.events_per_second =
       result.wall_seconds > 0.0

@@ -6,49 +6,64 @@
 
 namespace oosp {
 
-std::vector<MatchKey> CollectingTaggedSink::keys_for(QueryId query) const {
-  std::vector<MatchKey> keys;
-  for (const TaggedMatch& tm : matches_)
-    if (tm.query == query) keys.push_back(match_key(tm.match));
-  std::sort(keys.begin(), keys.end());
-  return keys;
-}
-
-MultiQueryRunner::MultiQueryRunner(const TypeRegistry& registry, TaggedSink& sink)
-    : registry_(registry), sink_(sink) {
-  routes_.resize(registry.size());
+MultiQueryRunner::MultiQueryRunner(const TypeRegistry& registry,
+                                   std::shared_ptr<TaggedSink> sink)
+    : registry_(registry), sink_(std::move(sink)) {
+  OOSP_REQUIRE(sink_ != nullptr, "MultiQueryRunner sink is null");
 }
 
 QueryId MultiQueryRunner::add_query(std::string_view text, EngineKind kind,
                                     EngineOptions options) {
+  return add_query(compile_query_shared(text, registry_), kind, options);
+}
+
+QueryId MultiQueryRunner::add_query(std::shared_ptr<const CompiledQuery> query,
+                                    EngineKind kind, EngineOptions options) {
   OOSP_REQUIRE(!started_, "add_query after the first event");
+  OOSP_REQUIRE(query != nullptr, "add_query: query is null");
   const QueryId id = entries_.size();
   Entry entry;
-  entry.query = std::make_unique<CompiledQuery>(compile_query(text, registry_));
-  entry.sink = std::make_unique<TagSink>(sink_, id);
-  entry.engine = make_engine(kind, *entry.query, *entry.sink, options);
-  // Index the types this query listens to.
-  routes_.resize(std::max(routes_.size(), static_cast<std::size_t>(registry_.size())));
-  for (TypeId t = 0; t < registry_.size(); ++t)
-    if (entry.query->relevant(t)) routes_[t].push_back(id);
-  const bool has_negation =
+  entry.query = std::move(query);
+  entry.has_negation =
       entry.query->positive_steps().size() != entry.query->num_steps();
-  if (has_negation) clock_subscribers_.push_back(id);
+  entry.engine = make_engine(
+      kind, EngineContext{entry.query, std::make_shared<TagSink>(sink_, id), options});
+  if (entry.has_negation) clock_subscribers_.push_back(id);
   entries_.push_back(std::move(entry));
+  rebuild_deliveries();
   return id;
+}
+
+void MultiQueryRunner::rebuild_deliveries() {
+  // Rebuilt from scratch on every add_query (all before streaming, so
+  // cost is irrelevant). Each (type, query) pair contributes AT MOST ONE
+  // delivery — relevant pattern input or clock tick, never both — which
+  // is the exactly-once guarantee the sharded runtime relies on.
+  deliveries_.assign(registry_.size(), {});
+  for (TypeId t = 0; t < registry_.size(); ++t) {
+    for (QueryId id = 0; id < entries_.size(); ++id) {
+      const bool relevant = entries_[id].query->relevant(t);
+      if (relevant || entries_[id].has_negation)
+        deliveries_[t].push_back(Delivery{id, relevant});
+    }
+  }
 }
 
 void MultiQueryRunner::on_event(const Event& e) {
   started_ = true;
   ++events_seen_;
-  const bool relevant = e.type < routes_.size() && !routes_[e.type].empty();
-  if (relevant) {
-    ++events_routed_;
-    for (const QueryId id : routes_[e.type]) entries_[id].engine->on_event(e);
+  bool routed = false;
+  if (e.type < deliveries_.size()) {
+    for (const Delivery& d : deliveries_[e.type]) {
+      entries_[d.id].engine->on_event(e);
+      routed |= d.relevant;
+    }
+  } else {
+    // Type registered after the last add_query: relevant to nobody, but
+    // negation holders still need the clock progress.
+    for (const QueryId id : clock_subscribers_) entries_[id].engine->on_event(e);
   }
-  // Clock ticks for negation sealing (skip engines already served above).
-  for (const QueryId id : clock_subscribers_)
-    if (!entries_[id].query->relevant(e.type)) entries_[id].engine->on_event(e);
+  if (routed) ++events_routed_;
 }
 
 void MultiQueryRunner::finish() {

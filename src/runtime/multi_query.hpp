@@ -1,14 +1,29 @@
 // Multi-query execution: many pattern queries over one arrival stream.
 //
 // A production deployment rarely runs a single query. MultiQueryRunner
-// owns one engine per registered query and routes each arriving event
-// only to the engines whose queries reference its type — the shared-scan
-// dispatch that makes q irrelevant queries cost nothing per event.
-// Exception: engines whose query has negated steps additionally receive
-// every event as a clock tick — negation sealing needs stream-time
-// progress, and an engine that only sees its own types would sit on
-// pending matches until the next relevant arrival. Results are tagged
-// with the originating query's id.
+// owns one engine per registered query and dispatches each arriving
+// event through a single per-type DELIVERY TABLE listing every engine
+// that must see events of that type, exactly once each:
+//
+//   * queries whose pattern references the type (shared-scan routing:
+//     irrelevant queries cost nothing per event), and
+//   * queries with negated steps for which the type is IRRELEVANT — they
+//     receive the event purely as a clock tick, because negation sealing
+//     needs stream-time progress and an engine that only saw its own
+//     types would sit on pending matches until the next relevant
+//     arrival.
+//
+// Building the union once per type (rather than routing and then
+// broadcasting to negation holders) makes the exactly-once guarantee
+// structural: an event type that is BOTH a positive step of one query
+// and a negated step of another appears once in each query's entry, so
+// no engine can ever observe the same event twice (test_sharded pins
+// this with a regression test).
+//
+// The runner co-owns its sink and compiled queries (shared_ptr); engines
+// are built through make_engine/EngineContext. Results are tagged with
+// the originating query's id. This is also the single-shard execution
+// core the sharded runtime replicates — see runtime/sharded.hpp.
 #pragma once
 
 #include <memory>
@@ -19,77 +34,71 @@
 
 namespace oosp {
 
-using QueryId = std::size_t;
-
-struct TaggedMatch {
-  QueryId query = 0;
-  Match match;
-};
-
-class TaggedSink {
- public:
-  virtual ~TaggedSink() = default;
-  virtual void on_match(QueryId query, Match&& m) = 0;
-  virtual void on_retract(QueryId query, const Match& m) {
-    (void)query;
-    (void)m;
-  }
-};
-
-class CollectingTaggedSink final : public TaggedSink {
- public:
-  void on_match(QueryId query, Match&& m) override {
-    matches_.push_back(TaggedMatch{query, std::move(m)});
-  }
-  const std::vector<TaggedMatch>& matches() const noexcept { return matches_; }
-  std::vector<MatchKey> keys_for(QueryId query) const;
-
- private:
-  std::vector<TaggedMatch> matches_;
-};
-
 class MultiQueryRunner {
  public:
-  // `registry` must outlive the runner; engines reference the compiled
-  // queries the runner stores.
-  MultiQueryRunner(const TypeRegistry& registry, TaggedSink& sink);
+  // `registry` must outlive the runner. The sink is co-owned.
+  MultiQueryRunner(const TypeRegistry& registry, std::shared_ptr<TaggedSink> sink);
 
-  // Compiles and registers a query; returns its id. All queries must be
-  // added before the first on_event.
+  // Compiles and registers a query; returns its id (dense, in add
+  // order). All queries must be added before the first on_event.
   QueryId add_query(std::string_view text, EngineKind kind, EngineOptions options = {});
+
+  // Registers an already-compiled query (shared with the caller — the
+  // Session compiles once and hands the same query to every shard).
+  QueryId add_query(std::shared_ptr<const CompiledQuery> query, EngineKind kind,
+                    EngineOptions options = {});
 
   void on_event(const Event& e);
   void finish();
 
   std::size_t query_count() const noexcept { return entries_.size(); }
   const CompiledQuery& query(QueryId id) const { return *entries_.at(id).query; }
-  EngineStats stats(QueryId id) const { return entries_.at(id).engine->stats(); }
+  const std::shared_ptr<const CompiledQuery>& query_ptr(QueryId id) const {
+    return entries_.at(id).query;
+  }
+  EngineStats stats(QueryId id) const {
+    return entries_.at(id).engine->stats_snapshot();
+  }
 
-  // Events delivered to at least one engine.
+  // Events delivered to at least one engine as pattern input (clock-tick
+  // deliveries to negation holders do not count as routing).
   std::uint64_t events_routed() const noexcept { return events_routed_; }
   std::uint64_t events_seen() const noexcept { return events_seen_; }
 
  private:
   struct TagSink final : public MatchSink {
-    TagSink(TaggedSink& out, QueryId id) : out_(out), id_(id) {}
-    void on_match(Match&& m) override { out_.on_match(id_, std::move(m)); }
-    void on_retract(const Match& m) override { out_.on_retract(id_, m); }
-    TaggedSink& out_;
+    TagSink(std::shared_ptr<TaggedSink> out, QueryId id)
+        : out_(std::move(out)), id_(id) {}
+    void on_match(Match&& m) override { out_->on_match(id_, std::move(m)); }
+    void on_retract(const Match& m) override { out_->on_retract(id_, m); }
+    std::shared_ptr<TaggedSink> out_;
     QueryId id_;
   };
 
   struct Entry {
-    std::unique_ptr<CompiledQuery> query;
-    std::unique_ptr<TagSink> sink;
+    std::shared_ptr<const CompiledQuery> query;
     std::unique_ptr<PatternEngine> engine;
+    bool has_negation = false;
   };
 
+  // One delivery of an event to one engine. `relevant` distinguishes
+  // pattern input from a pure clock tick (for events_routed accounting).
+  struct Delivery {
+    QueryId id;
+    bool relevant;
+  };
+
+  void rebuild_deliveries();
+
   const TypeRegistry& registry_;
-  TaggedSink& sink_;
+  std::shared_ptr<TaggedSink> sink_;
   std::vector<Entry> entries_;
-  // type id → ids of queries that reference it (shared-scan index).
-  std::vector<std::vector<QueryId>> routes_;
-  // queries with negated steps: receive every event for clock progress.
+  // deliveries_[type]: every engine that must see events of this type,
+  // each exactly once (relevant queries + clock-tick negation holders).
+  std::vector<std::vector<Delivery>> deliveries_;
+  // Fallback for type ids beyond the table (registered after the last
+  // add_query): such a type is relevant to no registered query, so only
+  // negation holders need it, as a tick.
   std::vector<QueryId> clock_subscribers_;
   bool started_ = false;
   std::uint64_t events_seen_ = 0;

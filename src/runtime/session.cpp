@@ -1,0 +1,99 @@
+#include "runtime/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+Session::Session(const TypeRegistry& registry, SessionConfig config,
+                 std::shared_ptr<TaggedSink> sink)
+    : registry_(registry), sink_(std::move(sink)) {
+  OOSP_REQUIRE(sink_ != nullptr, "Session sink is null");
+  OOSP_REQUIRE(!config.declarations_.empty(), "Session has no queries");
+
+  specs_.reserve(config.declarations_.size());
+  for (SessionConfig::QueryDecl& decl : config.declarations_) {
+    ShardQuerySpec spec;
+    spec.query = compile_query_shared(decl.text, registry_);
+    spec.kind = decl.kind.value_or(config.default_kind_);
+    spec.options = decl.options.value_or(config.default_options_);
+    specs_.push_back(std::move(spec));
+  }
+
+  std::size_t shards = std::max<std::size_t>(1, config.shards_);
+  std::optional<PartitionSpec> partition;
+  if (shards > 1) {
+    partition = PartitionSpec::build(specs_, registry_, &fallback_reason_);
+    if (!partition) shards = 1;
+  }
+
+  if (shards > 1) {
+    sharded_runner_ = std::make_unique<ShardedRunner>(
+        registry_, specs_, shards, *partition, config.queue_capacity_);
+  } else {
+    // Single-shard path collects into the same kind of sink a shard
+    // uses, so finish() runs the identical canonical-order delivery.
+    collect_ = std::make_shared<CollectingTaggedSink>();
+    inline_runner_ = std::make_unique<MultiQueryRunner>(registry_, collect_);
+    for (const ShardQuerySpec& spec : specs_)
+      inline_runner_->add_query(spec.query, spec.kind, spec.options);
+  }
+}
+
+Session::~Session() = default;
+
+void Session::on_event(const Event& e) {
+  OOSP_REQUIRE(!finished_, "on_event after finish");
+  ++events_seen_;
+  if (sharded_runner_) {
+    sharded_runner_->on_event(e);
+  } else {
+    inline_runner_->on_event(e);
+  }
+}
+
+void Session::finish() {
+  if (finished_) return;
+  finished_ = true;
+
+  std::vector<TaggedMatch> matches;
+  std::vector<TaggedMatch> retractions;
+  if (sharded_runner_) {
+    sharded_runner_->finish();
+    matches = sharded_runner_->take_output();
+    retractions = sharded_runner_->take_retractions();
+  } else {
+    inline_runner_->finish();
+    std::vector<std::vector<TaggedMatch>> one;
+    one.push_back(collect_->take());
+    matches = merge_match_streams(std::move(one));
+    one.clear();
+    one.push_back(collect_->take_retracted());
+    retractions = merge_match_streams(std::move(one));
+  }
+  for (TaggedMatch& tm : matches) sink_->on_match(tm.query, std::move(tm.match));
+  for (const TaggedMatch& tm : retractions) sink_->on_retract(tm.query, tm.match);
+}
+
+std::size_t Session::query_count() const noexcept { return specs_.size(); }
+
+const CompiledQuery& Session::query(QueryId id) const { return *specs_.at(id).query; }
+
+EngineStats Session::stats(QueryId id) const {
+  if (sharded_runner_) return sharded_runner_->stats(id);
+  return inline_runner_->stats(id);
+}
+
+EngineStats Session::total_stats() const {
+  EngineStats merged;
+  for (QueryId id = 0; id < query_count(); ++id) merged += stats(id);
+  return merged;
+}
+
+std::size_t Session::shard_count() const noexcept {
+  return sharded_runner_ ? sharded_runner_->shard_count() : 1;
+}
+
+}  // namespace oosp

@@ -1,0 +1,172 @@
+// Session: the unified public entry point to the runtime.
+//
+// Everything the library can execute — one query or many, one thread or
+// a sharded fleet — is driven through the same three calls:
+//
+//   auto sink = std::make_shared<CollectingTaggedSink>();
+//   Session session(registry,
+//                   SessionConfig{}
+//                       .engine(EngineKind::kOoo)
+//                       .slack(120)
+//                       .shards(4)
+//                       .query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 300"),
+//                   sink);
+//   for (const Event& e : arrivals) session.on_event(e);
+//   session.finish();   // results delivered to the sink, canonically ordered
+//
+// The Session OWNS the full execution stack: it compiles the queries
+// (shared with every shard), constructs the engines through
+// make_engine/EngineContext, and co-owns the sink — no borrowed raw
+// pointers anywhere in the public API.
+//
+// ## Sharding and fallback
+//
+// `shards(N)` requests hash-partitioned parallel execution (see
+// runtime/sharded.hpp). Sharding requires every query to declare a full
+// equi-join partition key and all queries to agree on each event type's
+// key attribute; when that fails, the Session transparently falls back
+// to single-shard execution and reports why in shard_fallback_reason().
+//
+// ## Output contract
+//
+// Matches are delivered to the TaggedSink during finish(), in the
+// canonical order (seal_ts = match.last_ts(), query id, match key) —
+// identical for EVERY shard count, which is what makes parallel runs
+// bit-for-bit reproducible. (Retractions — aggressive negation only —
+// are delivered after the matches, in the same canonical order.) This
+// batch contract is deliberate: per-event streaming delivery would make
+// output ORDER depend on arrival interleaving and shard clocks, and
+// under LatePolicy::kAdmit no watermark bounds how late a straggler
+// match can seal, so no exact streaming merge exists. Callers that want
+// raw streaming (and accept emission order) can still drive a
+// single MultiQueryRunner or engine directly.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/sharded.hpp"
+
+namespace oosp {
+
+// Builder-style declaration of a Session: defaults plus one entry per
+// query. Defaults (engine kind, options) apply to queries that do not
+// override them, regardless of declaration order.
+class SessionConfig {
+ public:
+  // Default engine kind for queries without an explicit kind.
+  SessionConfig& engine(EngineKind kind) {
+    default_kind_ = kind;
+    return *this;
+  }
+  // Default options for queries without explicit options.
+  SessionConfig& options(EngineOptions options) {
+    default_options_ = std::move(options);
+    return *this;
+  }
+  // Convenience tweaks on the default options.
+  SessionConfig& slack(Timestamp k) {
+    default_options_.slack = k;
+    return *this;
+  }
+  SessionConfig& late_policy(LatePolicy policy) {
+    default_options_.late_policy = policy;
+    return *this;
+  }
+
+  // Number of parallel shards (1 = single-threaded; default).
+  SessionConfig& shards(std::size_t n) {
+    shards_ = n;
+    return *this;
+  }
+  // Per-shard ingress queue capacity (bounded; producer blocks when full).
+  SessionConfig& queue_capacity(std::size_t n) {
+    queue_capacity_ = n;
+    return *this;
+  }
+
+  // Registers a query. Ids are assigned densely in declaration order.
+  SessionConfig& query(std::string text) {
+    declarations_.push_back({std::move(text), std::nullopt, std::nullopt});
+    return *this;
+  }
+  SessionConfig& query(std::string text, EngineKind kind) {
+    declarations_.push_back({std::move(text), kind, std::nullopt});
+    return *this;
+  }
+  SessionConfig& query(std::string text, EngineKind kind, EngineOptions options) {
+    declarations_.push_back({std::move(text), kind, std::move(options)});
+    return *this;
+  }
+
+ private:
+  friend class Session;
+
+  struct QueryDecl {
+    std::string text;
+    std::optional<EngineKind> kind;
+    std::optional<EngineOptions> options;
+  };
+
+  EngineKind default_kind_ = EngineKind::kOoo;
+  EngineOptions default_options_;
+  std::size_t shards_ = 1;
+  std::size_t queue_capacity_ = 64 * 1024;
+  std::vector<QueryDecl> declarations_;
+};
+
+class Session {
+ public:
+  // Compiles every declared query and builds the execution stack.
+  // `registry` must outlive the session; the sink is co-owned. Throws
+  // QueryAnalysisError on a malformed query.
+  Session(const TypeRegistry& registry, SessionConfig config,
+          std::shared_ptr<TaggedSink> sink);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Feed events in arrival order; single producer thread.
+  void on_event(const Event& e);
+
+  // End of stream: flushes the engines (joining shard workers) and
+  // delivers all matches to the sink in canonical order. Idempotent.
+  void finish();
+
+  std::size_t query_count() const noexcept;
+  const CompiledQuery& query(QueryId id) const;
+
+  // Per-query counters, aggregated across shards. Requires finish() in
+  // sharded mode (the workers own the engines until then).
+  EngineStats stats(QueryId id) const;
+  // Sum over all queries.
+  EngineStats total_stats() const;
+
+  // Effective shard count (1 when sharding was not requested or the
+  // query set was not shardable).
+  std::size_t shard_count() const noexcept;
+  bool sharded() const noexcept { return shard_count() > 1; }
+  // Why a shards(N>1) request fell back to 1; empty when it did not.
+  const std::string& shard_fallback_reason() const noexcept { return fallback_reason_; }
+
+  std::uint64_t events_seen() const noexcept { return events_seen_; }
+
+ private:
+  const TypeRegistry& registry_;
+  std::shared_ptr<TaggedSink> sink_;
+  std::vector<ShardQuerySpec> specs_;
+  std::string fallback_reason_;
+  bool finished_ = false;
+  std::uint64_t events_seen_ = 0;
+
+  // Exactly one of the two is set: single-shard runs use an inline
+  // runner collecting into collect_, sharded runs use the ShardedRunner.
+  std::shared_ptr<CollectingTaggedSink> collect_;
+  std::unique_ptr<MultiQueryRunner> inline_runner_;
+  std::unique_ptr<ShardedRunner> sharded_runner_;
+};
+
+}  // namespace oosp

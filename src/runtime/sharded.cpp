@@ -1,0 +1,173 @@
+#include "runtime/sharded.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+
+std::optional<PartitionSpec> PartitionSpec::build(std::span<const ShardQuerySpec> specs,
+                                                  const TypeRegistry& registry,
+                                                  std::string* reject_reason) {
+  const auto reject = [&](std::string why) -> std::optional<PartitionSpec> {
+    if (reject_reason) *reject_reason = std::move(why);
+    return std::nullopt;
+  };
+
+  PartitionSpec out;
+  out.slots_.assign(registry.size(), kTickOnly);
+  for (const ShardQuerySpec& spec : specs) {
+    OOSP_REQUIRE(spec.query != nullptr, "PartitionSpec: null query");
+    const CompiledQuery& q = *spec.query;
+    if (!q.partitionable())
+      return reject("query lacks a full equi-join key: " + q.text());
+    for (TypeId t = 0; t < registry.size(); ++t) {
+      for (const std::size_t step : q.steps_for_type(t)) {
+        const std::size_t slot = q.partition_slots()[step];
+        if (slot == CompiledStep::npos)
+          return reject("negated step outside the equi-join class in: " + q.text());
+        if (out.slots_[t] == kTickOnly) {
+          out.slots_[t] = slot;
+        } else if (out.slots_[t] != slot) {
+          return reject("conflicting partition attributes for type '" +
+                        std::string(registry.name(t)) + "'");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<TaggedMatch> merge_match_streams(
+    std::vector<std::vector<TaggedMatch>> streams) {
+  std::size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+
+  struct Decorated {
+    Timestamp seal_ts;
+    QueryId query;
+    MatchKey key;
+    TaggedMatch* source;
+  };
+  std::vector<Decorated> order;
+  order.reserve(total);
+  for (auto& stream : streams)
+    for (TaggedMatch& tm : stream)
+      order.push_back(
+          Decorated{tm.match.last_ts(), tm.query, match_key(tm.match), &tm});
+  std::sort(order.begin(), order.end(), [](const Decorated& a, const Decorated& b) {
+    return std::tie(a.seal_ts, a.query, a.key) < std::tie(b.seal_ts, b.query, b.key);
+  });
+
+  std::vector<TaggedMatch> merged;
+  merged.reserve(total);
+  for (const Decorated& d : order) merged.push_back(std::move(*d.source));
+  return merged;
+}
+
+ShardedRunner::ShardedRunner(const TypeRegistry& registry,
+                             std::vector<ShardQuerySpec> specs, std::size_t num_shards,
+                             PartitionSpec partition, std::size_t queue_capacity)
+    : registry_(registry), specs_(std::move(specs)), partition_(partition) {
+  OOSP_REQUIRE(num_shards >= 1, "ShardedRunner needs at least one shard");
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->queue = std::make_unique<SpscQueue<Event>>(queue_capacity);
+    shard->sink = std::make_shared<CollectingTaggedSink>();
+    shard->runner = std::make_unique<MultiQueryRunner>(registry_, shard->sink);
+    for (const ShardQuerySpec& spec : specs_)
+      shard->runner->add_query(spec.query, spec.kind, spec.options);
+    shards_.push_back(std::move(shard));
+  }
+  // Start the workers only after every runner is fully built; the thread
+  // start is the publication point for the engine state they consume.
+  for (auto& shard : shards_)
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+}
+
+ShardedRunner::~ShardedRunner() {
+  // Stop without delivering: finish() is the orderly path; this only
+  // guarantees the threads are gone.
+  for (auto& shard : shards_) shard->stop.store(true, std::memory_order_release);
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+}
+
+void ShardedRunner::worker_loop(Shard& shard) {
+  Event e;
+  for (;;) {
+    if (shard.queue->try_pop(e)) {
+      shard.runner->on_event(e);
+      continue;
+    }
+    if (shard.stop.load(std::memory_order_acquire) && shard.queue->empty()) break;
+    std::this_thread::yield();
+  }
+  shard.runner->finish();
+  shard.final_stats.reserve(shard.runner->query_count());
+  for (QueryId q = 0; q < shard.runner->query_count(); ++q)
+    shard.final_stats.push_back(shard.runner->stats(q));
+}
+
+void ShardedRunner::push_blocking(Shard& shard, Event e) {
+  while (!shard.queue->try_push(std::move(e))) std::this_thread::yield();
+}
+
+void ShardedRunner::on_event(const Event& e) {
+  OOSP_REQUIRE(!finished_, "on_event after finish");
+  ++events_seen_;
+  const std::size_t slot = partition_.slot_for(e.type);
+  if (slot == PartitionSpec::kTickOnly || slot >= e.attrs.size()) {
+    // Relevant to no query (pure clock progress) — every shard needs it.
+    // A keyed type whose event is missing the key attribute (malformed
+    // input) also lands here: broadcast is harmless because schema
+    // validation rejects it inside each engine before it touches state.
+    for (auto& shard : shards_) push_blocking(*shard, e);
+    return;
+  }
+  const std::size_t target = hasher_(e.attrs[slot]) % shards_.size();
+  push_blocking(*shards_[target], e);
+}
+
+void ShardedRunner::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& shard : shards_) shard->stop.store(true, std::memory_order_release);
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+}
+
+std::vector<TaggedMatch> ShardedRunner::take_output() {
+  OOSP_CHECK(finished_, "take_output before finish");
+  std::vector<std::vector<TaggedMatch>> streams;
+  streams.reserve(shards_.size());
+  for (auto& shard : shards_) streams.push_back(shard->sink->take());
+  return merge_match_streams(std::move(streams));
+}
+
+std::vector<TaggedMatch> ShardedRunner::take_retractions() {
+  OOSP_CHECK(finished_, "take_retractions before finish");
+  std::vector<std::vector<TaggedMatch>> streams;
+  streams.reserve(shards_.size());
+  for (auto& shard : shards_) streams.push_back(shard->sink->take_retracted());
+  return merge_match_streams(std::move(streams));
+}
+
+EngineStats ShardedRunner::stats(QueryId id) const {
+  OOSP_CHECK(finished_, "stats before finish (workers still own the engines)");
+  EngineStats merged;
+  for (const auto& shard : shards_) merged += shard->final_stats.at(id);
+  return merged;
+}
+
+std::uint64_t ShardedRunner::events_routed() const {
+  OOSP_CHECK(finished_, "events_routed before finish");
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->runner->events_routed();
+  return total;
+}
+
+}  // namespace oosp

@@ -1,0 +1,147 @@
+// Sharded parallel execution: partition-by-key scale-out of the
+// multi-query runtime across worker threads.
+//
+// The model follows the standard recipe for ordered stream workloads
+// ("Scaling Ordered Stream Processing on Shared-Memory Multicores",
+// Prasaad et al.): hash-partition arriving events by the queries'
+// equi-join key across N shards, run a full single-threaded engine set
+// per shard, and deterministically merge the emitted matches afterwards.
+//
+//   producer thread                      worker threads (one per shard)
+//   ───────────────                      ─────────────────────────────
+//   on_event(e):
+//     slot  = PartitionSpec[e.type]
+//     shard = hash(e.attr(slot)) % N  ─► SPSC queue ─► MultiQueryRunner
+//                                         (own engines, own clocks,
+//                                          own stats, no shared state)
+//   finish(): stop+join ───────────────► per-shard runner.finish()
+//     then: ordered merge of all shards' collected matches.
+//
+// Why per-shard execution is exact: a shardable query set forces every
+// event type onto ONE partition attribute (see PartitionSpec), so any
+// two events that could ever appear in the same match carry the same
+// key and land in the same shard. Events of other keys only ever
+// affected an engine through its CLOCK (purge horizons, negation
+// sealing); a shard clock that lags the global clock delays purging and
+// sealing — both conservative — and finish() seals everything, so the
+// final match multiset is bit-identical to a single-threaded run.
+//
+// Output determinism: matches are merged in the canonical order
+// (seal_ts, query, match_key), where seal_ts is the match's final
+// (largest) bound timestamp — an intrinsic property of the match, not
+// of emission timing. Any shard count, including 1, therefore yields
+// the same ordered output sequence.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.hpp"
+#include "runtime/multi_query.hpp"
+
+namespace oosp {
+
+// One query as registered with the sharded runtime: compiled once,
+// shared read-only by every shard's engine instance.
+struct ShardQuerySpec {
+  std::shared_ptr<const CompiledQuery> query;
+  EngineKind kind = EngineKind::kOoo;
+  EngineOptions options;
+};
+
+// Per-event-type routing decision for a query set. Built once up front;
+// construction FAILS (returns nullopt with a reason) when the query set
+// cannot be sharded safely:
+//   * a query without a full equi-join key (not partitionable), or with
+//     a negated step outside the key's equality class — its events
+//     would need to be visible to every key's candidates;
+//   * two queries keying the same event type on different attributes —
+//     no single hash routes the type correctly for both.
+// Callers (Session) fall back to single-shard execution in that case.
+class PartitionSpec {
+ public:
+  static constexpr std::size_t kTickOnly = static_cast<std::size_t>(-1);
+
+  static std::optional<PartitionSpec> build(std::span<const ShardQuerySpec> specs,
+                                            const TypeRegistry& registry,
+                                            std::string* reject_reason = nullptr);
+
+  // Attribute slot whose value partitions events of type `t`, or
+  // kTickOnly when the type is relevant to no query (such events only
+  // advance clocks and are broadcast to every shard).
+  std::size_t slot_for(TypeId t) const noexcept {
+    return t < slots_.size() ? slots_[t] : kTickOnly;
+  }
+
+ private:
+  std::vector<std::size_t> slots_;  // by TypeId
+};
+
+// Canonical cross-shard output order: (seal_ts = match.last_ts(),
+// query id, match key). Returns the concatenation of `streams` sorted
+// into that order; used for matches and retractions alike.
+std::vector<TaggedMatch> merge_match_streams(std::vector<std::vector<TaggedMatch>> streams);
+
+class ShardedRunner {
+ public:
+  // `registry` must outlive the runner. Engines are constructed in the
+  // calling thread; workers start immediately and wait on their queues.
+  ShardedRunner(const TypeRegistry& registry, std::vector<ShardQuerySpec> specs,
+                std::size_t num_shards, PartitionSpec partition,
+                std::size_t queue_capacity = 64 * 1024);
+  ~ShardedRunner();
+
+  ShardedRunner(const ShardedRunner&) = delete;
+  ShardedRunner& operator=(const ShardedRunner&) = delete;
+
+  // Producer side; single-threaded. Blocks (yielding) while the target
+  // shard's queue is full — backpressure preserves arrival order.
+  void on_event(const Event& e);
+
+  // Drains the queues, joins the workers, runs per-shard finish().
+  // Idempotent. After it returns, the accessors below are valid.
+  void finish();
+
+  // Merged matches / retractions in canonical order. Call once each.
+  std::vector<TaggedMatch> take_output();
+  std::vector<TaggedMatch> take_retractions();
+
+  // Cross-shard aggregate (EngineStats::operator+=).
+  EngineStats stats(QueryId id) const;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::size_t query_count() const noexcept { return specs_.size(); }
+  const CompiledQuery& query(QueryId id) const { return *specs_.at(id).query; }
+  std::uint64_t events_seen() const noexcept { return events_seen_; }
+  std::uint64_t events_routed() const;  // after finish()
+
+ private:
+  struct Shard {
+    std::unique_ptr<SpscQueue<Event>> queue;
+    std::shared_ptr<CollectingTaggedSink> sink;
+    std::unique_ptr<MultiQueryRunner> runner;
+    std::thread worker;
+    std::atomic<bool> stop{false};
+    // Written by the worker after its final finish(), read by the
+    // producer after join() — the join is the synchronization point.
+    std::vector<EngineStats> final_stats;
+  };
+
+  void worker_loop(Shard& shard);
+  void push_blocking(Shard& shard, Event e);
+
+  const TypeRegistry& registry_;
+  std::vector<ShardQuerySpec> specs_;
+  PartitionSpec partition_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ValueHasher hasher_;
+  bool finished_ = false;
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace oosp

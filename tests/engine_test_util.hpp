@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "engine/engines.hpp"
@@ -31,26 +32,36 @@ inline Event make_event(const TypeRegistry& reg, const char* type, EventId id,
   return e;
 }
 
+// Engines co-own their query and sink (EngineContext). Tests keep
+// value-typed CompiledQuery locals, so share a copy per engine here.
+inline std::unique_ptr<PatternEngine> make_test_engine(EngineKind kind,
+                                                       const CompiledQuery& q,
+                                                       std::shared_ptr<MatchSink> sink,
+                                                       EngineOptions options = {}) {
+  return make_engine(kind, std::make_shared<const CompiledQuery>(q), std::move(sink),
+                     std::move(options));
+}
+
 // Feeds `arrivals` (arrival order) through a fresh engine; returns
 // collected matches.
 inline std::vector<Match> run_engine(EngineKind kind, const CompiledQuery& q,
                                      const std::vector<Event>& arrivals,
                                      EngineOptions options = {}) {
-  CollectingSink sink;
-  const auto engine = make_engine(kind, q, sink, options);
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = make_test_engine(kind, q, sink, options);
   for (const Event& e : arrivals) engine->on_event(e);
   engine->finish();
-  return sink.matches();
+  return sink->matches();
 }
 
 inline std::vector<MatchKey> run_engine_keys(EngineKind kind, const CompiledQuery& q,
                                              const std::vector<Event>& arrivals,
                                              EngineOptions options = {}) {
-  CollectingSink sink;
-  const auto engine = make_engine(kind, q, sink, options);
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = make_test_engine(kind, q, sink, options);
   for (const Event& e : arrivals) engine->on_event(e);
   engine->finish();
-  return sink.sorted_keys();
+  return sink->sorted_keys();
 }
 
 // Asserts an engine run over `arrivals` reproduces the oracle exactly.

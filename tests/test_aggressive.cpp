@@ -31,57 +31,57 @@ class AggressiveTest : public ::testing::Test {
 
 TEST_F(AggressiveTest, EmitsImmediatelyWithoutWaitingForSeal) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, aggressive(1'000));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, aggressive(1'000));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("C", 1, 30));
   // Conservative would pend (huge slack); aggressive emits now with zero delay.
-  ASSERT_EQ(sink.size(), 1u);
-  EXPECT_EQ(sink.matches()[0].detection_delay(), 0);
+  ASSERT_EQ(sink->size(), 1u);
+  EXPECT_EQ(sink->matches()[0].detection_delay(), 0);
   EXPECT_EQ(engine->name(), "ooo-aggressive");
 }
 
 TEST_F(AggressiveTest, LateNegativeTriggersRetraction) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, aggressive(100));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, aggressive(100));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("C", 1, 30));
-  ASSERT_EQ(sink.size(), 1u);
+  ASSERT_EQ(sink->size(), 1u);
   engine->on_event(ev("B", 2, 20));  // invalidates the emitted match
-  ASSERT_EQ(sink.retracted().size(), 1u);
-  EXPECT_EQ(match_key(sink.retracted()[0]), (MatchKey{0, 1}));
+  ASSERT_EQ(sink->retracted().size(), 1u);
+  EXPECT_EQ(match_key(sink->retracted()[0]), (MatchKey{0, 1}));
   engine->finish();
-  EXPECT_TRUE(sink.net_sorted_keys().empty());
-  EXPECT_EQ(engine->stats().matches_retracted, 1u);
+  EXPECT_TRUE(sink->net_sorted_keys().empty());
+  EXPECT_EQ(engine->stats_snapshot().matches_retracted, 1u);
 }
 
 TEST_F(AggressiveTest, SealedMatchCannotBeRetracted) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, aggressive(50));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, aggressive(50));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("C", 1, 30));
   engine->on_event(ev("D", 2, 200));  // clock >> 30 + K: interval seals
   // A (contract-violating) extremely late B must not retract anything.
   engine->on_event(ev("B", 3, 20));
   engine->finish();
-  EXPECT_EQ(sink.retracted().size(), 0u);
-  EXPECT_EQ(sink.net_sorted_keys().size(), 1u);
+  EXPECT_EQ(sink->retracted().size(), 0u);
+  EXPECT_EQ(sink->net_sorted_keys().size(), 1u);
 }
 
 TEST_F(AggressiveTest, RetractionRespectsNegationPredicates) {
   const CompiledQuery q = compile_query(
       "PATTERN SEQ(A a, !B b, C c) WHERE a.k == c.k AND a.k == b.k WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, aggressive(100));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, aggressive(100));
   engine->on_event(ev("A", 0, 10, 1));
   engine->on_event(ev("C", 1, 30, 1));
-  ASSERT_EQ(sink.size(), 1u);
+  ASSERT_EQ(sink->size(), 1u);
   engine->on_event(ev("B", 2, 20, 9));  // wrong key: no retraction
-  EXPECT_EQ(sink.retracted().size(), 0u);
+  EXPECT_EQ(sink->retracted().size(), 0u);
   engine->on_event(ev("B", 3, 25, 1));  // right key: retract
-  EXPECT_EQ(sink.retracted().size(), 1u);
+  EXPECT_EQ(sink->retracted().size(), 1u);
 }
 
 TEST_F(AggressiveTest, NetResultEqualsConservativeAndOracle) {
@@ -97,24 +97,25 @@ TEST_F(AggressiveTest, NetResultEqualsConservativeAndOracle) {
   EngineOptions aopt = copt;
   aopt.aggressive_negation = true;
 
-  CollectingSink conservative, aggressive_sink;
+  const auto conservative = std::make_shared<CollectingSink>();
+  const auto aggressive_sink = std::make_shared<CollectingSink>();
   {
-    const auto e = make_engine(EngineKind::kOoo, q, conservative, copt);
+    const auto e = testutil::make_test_engine(EngineKind::kOoo, q, conservative, copt);
     for (const Event& ev2 : arrivals) e->on_event(ev2);
     e->finish();
   }
   {
-    const auto e = make_engine(EngineKind::kOoo, q, aggressive_sink, aopt);
+    const auto e = testutil::make_test_engine(EngineKind::kOoo, q, aggressive_sink, aopt);
     for (const Event& ev2 : arrivals) e->on_event(ev2);
     e->finish();
-    EXPECT_GT(e->stats().matches_retracted, 0u) << "scenario should force retractions";
+    EXPECT_GT(e->stats_snapshot().matches_retracted, 0u) << "scenario should force retractions";
   }
   const auto truth = oracle_keys(q, arrivals);
-  EXPECT_EQ(conservative.sorted_keys(), truth);
-  EXPECT_EQ(aggressive_sink.net_sorted_keys(), truth);
+  EXPECT_EQ(conservative->sorted_keys(), truth);
+  EXPECT_EQ(aggressive_sink->net_sorted_keys(), truth);
   // Aggressive emissions = net + retracted.
-  EXPECT_EQ(aggressive_sink.size(),
-            truth.size() + aggressive_sink.retracted().size());
+  EXPECT_EQ(aggressive_sink->size(),
+            truth.size() + aggressive_sink->retracted().size());
 }
 
 TEST_F(AggressiveTest, AggressiveNeverSlowerToReport) {
@@ -143,14 +144,14 @@ TEST_F(AggressiveTest, AggressiveNeverSlowerToReport) {
 
 TEST_F(AggressiveTest, PuresPositiveQueriesUnaffected) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, aggressive(100));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, aggressive(100));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("B", 1, 20));
   engine->finish();
-  EXPECT_EQ(sink.size(), 1u);
-  EXPECT_EQ(sink.retracted().size(), 0u);
-  EXPECT_EQ(engine->stats().pending_peak, 0u);
+  EXPECT_EQ(sink->size(), 1u);
+  EXPECT_EQ(sink->retracted().size(), 0u);
+  EXPECT_EQ(engine->stats_snapshot().pending_peak, 0u);
 }
 
 }  // namespace

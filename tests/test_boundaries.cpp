@@ -43,23 +43,23 @@ TEST_F(BoundaryTest, OooPurgeKeepsInstanceAtExactHorizon) {
   // horizon must survive and still join a maximally-late, maximally-
   // distant B.
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(5, 1));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, slack(5, 1));
   engine->on_event(ev("A", 0, 100));
   engine->on_event(ev("D", 1, 115));  // clock=115: horizon = 115−5−10 = 100
   engine->on_event(ev("B", 2, 110));  // late by 5 (== K), span == 10 (== W)
   engine->finish();
-  EXPECT_EQ(sink.size(), 1u);
-  EXPECT_EQ(engine->stats().contract_violations, 0u);
+  EXPECT_EQ(sink->size(), 1u);
+  EXPECT_EQ(engine->stats_snapshot().contract_violations, 0u);
 }
 
 TEST_F(BoundaryTest, OooPurgeDropsInstanceJustBelowHorizon) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(5, 1));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, slack(5, 1));
   engine->on_event(ev("A", 0, 99));
   engine->on_event(ev("D", 1, 115));  // horizon 100 > 99: A purged
-  EXPECT_EQ(engine->stats().instances_purged, 1u);
+  EXPECT_EQ(engine->stats_snapshot().instances_purged, 1u);
   // No contract-violating resurrection is possible: any B joining A@99
   // within W=10 has ts <= 109 < clock − K = 110 → would itself violate
   // the contract. The purge was safe by construction.
@@ -67,69 +67,69 @@ TEST_F(BoundaryTest, OooPurgeDropsInstanceJustBelowHorizon) {
 
 TEST_F(BoundaryTest, SealFiresExactlyAtIntervalEndPlusK) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(50, 0));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, slack(50, 0));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("C", 1, 30));
   engine->on_event(ev("D", 2, 79));  // clock = 79 < 30 + 50: not sealed
-  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink->size(), 0u);
   engine->on_event(ev("D", 3, 80));  // clock = 80 == 30 + 50: sealed
-  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink->size(), 1u);
 }
 
 TEST_F(BoundaryTest, NegativeExactlyAtSealBoundaryStillCancels) {
   // A violating B with lateness exactly K must arrive before (or at) the
   // event that seals its interval, and must still cancel the match.
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(50, 0));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, slack(50, 0));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("C", 1, 30));
   engine->on_event(ev("D", 2, 79));
   engine->on_event(ev("B", 3, 29));  // lateness 50 == K: legal, cancels
   engine->on_event(ev("D", 4, 200));
   engine->finish();
-  EXPECT_EQ(sink.size(), 0u);
-  EXPECT_EQ(engine->stats().contract_violations, 0u);
-  EXPECT_EQ(engine->stats().matches_cancelled, 1u);
+  EXPECT_EQ(sink->size(), 0u);
+  EXPECT_EQ(engine->stats_snapshot().contract_violations, 0u);
+  EXPECT_EQ(engine->stats_snapshot().matches_cancelled, 1u);
 }
 
 TEST_F(BoundaryTest, ContractViolationCountedAboveSlackOnly) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(10));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, slack(10));
   engine->on_event(ev("D", 0, 100));
   engine->on_event(ev("D", 1, 90));  // lateness 10 == K: allowed
-  EXPECT_EQ(engine->stats().contract_violations, 0u);
+  EXPECT_EQ(engine->stats_snapshot().contract_violations, 0u);
   engine->on_event(ev("D", 2, 89));  // lateness 11 > K: violation
-  EXPECT_EQ(engine->stats().contract_violations, 1u);
-  EXPECT_EQ(engine->stats().late_events, 2u);
+  EXPECT_EQ(engine->stats_snapshot().contract_violations, 1u);
+  EXPECT_EQ(engine->stats_snapshot().late_events, 2u);
 }
 
 TEST_F(BoundaryTest, KSlackCountsContractViolationsToo) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kKSlackInOrder, q, sink, slack(10));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kKSlackInOrder, q, sink, slack(10));
   engine->on_event(ev("D", 0, 100));
   engine->on_event(ev("D", 1, 80));
-  EXPECT_EQ(engine->stats().contract_violations, 1u);
+  EXPECT_EQ(engine->stats_snapshot().contract_violations, 1u);
 }
 
 TEST_F(BoundaryTest, KSlackReleaseBoundary) {
   // An event is released once clock − K >= its ts; with equal release
   // instants, ties release in (ts, id) order into the inner engine.
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kKSlackInOrder, q, sink, slack(20));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kKSlackInOrder, q, sink, slack(20));
   engine->on_event(ev("B", 1, 30));
   engine->on_event(ev("A", 0, 30));  // tie ts, smaller id: must sort first…
   // …but equal timestamps never sequence, so no match from these two.
   engine->on_event(ev("A", 2, 31));
   engine->on_event(ev("B", 3, 40));
   engine->on_event(ev("D", 4, 60));  // releases everything ts <= 40
-  EXPECT_EQ(sink.size(), 2u);        // (A@30,B@40) and (A@31,B@40)
+  EXPECT_EQ(sink->size(), 2u);        // (A@30,B@40) and (A@31,B@40)
   engine->finish();
-  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink->size(), 2u);
 }
 
 TEST_F(BoundaryTest, ZeroSlackOnOrderedStreamBehavesLikeInOrder) {
@@ -162,20 +162,20 @@ TEST_F(BoundaryTest, StatsAccountingConsistentAfterRun) {
       compile_query("PATTERN SEQ(A a, !B b, C c) WHERE a.k == c.k AND a.k == b.k "
                     "WITHIN 30",
                     reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(20, 4));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, slack(20, 4));
   EventId id = 0;
   for (int i = 0; i < 500; ++i) {
     const Timestamp base = i * 7;
     engine->on_event(ev(i % 3 == 0 ? "A" : (i % 3 == 1 ? "B" : "C"), id++, base, i % 4));
   }
   engine->finish();
-  const auto s = engine->stats();
+  const auto s = engine->stats_snapshot();
   EXPECT_EQ(s.events_seen, 500u);
   EXPECT_EQ(s.instances_inserted, s.instances_purged + s.current_instances);
   EXPECT_GE(s.footprint_peak, s.footprint());
   EXPECT_EQ(s.pending_matches, 0u);  // finish() drained everything
-  EXPECT_EQ(s.matches_emitted, sink.size());
+  EXPECT_EQ(s.matches_emitted, sink->size());
 }
 
 }  // namespace

@@ -143,14 +143,14 @@ TEST_F(FaultTest, CorruptedEventsAreRejectedBySchemaValidation) {
   EngineOptions opt;
   opt.slack = 5;
   opt.registry = &reg_;
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, opt);
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, opt);
   for (const Event& e : mangled) engine->on_event(e);  // must not fault
   engine->finish();
   // All three mutation kinds (bad TypeId, truncated attrs, wrong-typed
   // value) are caught at admission; nothing reaches matching.
-  EXPECT_EQ(engine->stats().events_rejected, mangled.size());
-  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(engine->stats_snapshot().events_rejected, mangled.size());
+  EXPECT_EQ(sink->size(), 0u);
 }
 
 TEST_F(FaultTest, ClockSkewShiftsEachSourceByOneFixedOffset) {

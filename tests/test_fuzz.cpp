@@ -90,28 +90,28 @@ TEST_P(FuzzSweep, EnginesMatchOracle) {
   opt.purge_period = (seed % 5 == 0) ? 1 : (seed % 5 == 1 ? 0 : 32);
 
   {
-    CollectingSink sink;
-    const auto engine = make_engine(EngineKind::kOoo, q, sink, opt);
+    const auto sink = std::make_shared<CollectingSink>();
+    const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, opt);
     for (const Event& e : arrivals) engine->on_event(e);
     engine->finish();
-    EXPECT_EQ(sink.sorted_keys(), truth) << "ooo conservative, " << recipe.str();
-    EXPECT_EQ(engine->stats().contract_violations, 0u) << recipe.str();
+    EXPECT_EQ(sink->sorted_keys(), truth) << "ooo conservative, " << recipe.str();
+    EXPECT_EQ(engine->stats_snapshot().contract_violations, 0u) << recipe.str();
   }
   {
     EngineOptions aopt = opt;
     aopt.aggressive_negation = true;
-    CollectingSink sink;
-    const auto engine = make_engine(EngineKind::kOoo, q, sink, aopt);
+    const auto sink = std::make_shared<CollectingSink>();
+    const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, aopt);
     for (const Event& e : arrivals) engine->on_event(e);
     engine->finish();
-    EXPECT_EQ(sink.net_sorted_keys(), truth) << "ooo aggressive, " << recipe.str();
+    EXPECT_EQ(sink->net_sorted_keys(), truth) << "ooo aggressive, " << recipe.str();
   }
   {
-    CollectingSink sink;
-    const auto engine = make_engine(EngineKind::kKSlackInOrder, q, sink, opt);
+    const auto sink = std::make_shared<CollectingSink>();
+    const auto engine = testutil::make_test_engine(EngineKind::kKSlackInOrder, q, sink, opt);
     for (const Event& e : arrivals) engine->on_event(e);
     engine->finish();
-    EXPECT_EQ(sink.sorted_keys(), truth) << "kslack, " << recipe.str();
+    EXPECT_EQ(sink->sorted_keys(), truth) << "kslack, " << recipe.str();
   }
 }
 

@@ -91,12 +91,12 @@ TEST_F(InOrderEngineTest, PurgeActuallyShrinksState) {
   std::vector<Event> events;
   for (EventId i = 0; i < 1'000; ++i)
     events.push_back(ev("A", i, static_cast<Timestamp>(i) * 5));
-  CollectingSink sink;
+  const auto sink = std::make_shared<CollectingSink>();
   EngineOptions opt;
   opt.purge_period = 8;
-  const auto engine = make_engine(EngineKind::kInOrder, q, sink, opt);
+  const auto engine = testutil::make_test_engine(EngineKind::kInOrder, q, sink, opt);
   for (const auto& e : events) engine->on_event(e);
-  const auto s = engine->stats();
+  const auto s = engine->stats_snapshot();
   EXPECT_GT(s.instances_purged, 900u);
   EXPECT_LT(s.current_instances, 20u);
   EXPECT_LT(s.footprint_peak, 40u);
@@ -125,28 +125,28 @@ TEST_F(InOrderEngineTest, PhantomMatchWhenNegativeArrivesLate) {
 TEST_F(InOrderEngineTest, StatsCountersPopulated) {
   const CompiledQuery q =
       compile_query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 50", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kInOrder, q, sink);
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kInOrder, q, sink);
   for (EventId i = 0; i < 100; ++i)
     engine->on_event(ev(i % 2 ? "B" : "A", i, static_cast<Timestamp>(i) * 2, i % 5));
   engine->finish();
-  const auto s = engine->stats();
+  const auto s = engine->stats_snapshot();
   EXPECT_EQ(s.events_seen, 100u);
   EXPECT_EQ(s.events_relevant, 100u);
   EXPECT_GT(s.instances_inserted, 0u);
   EXPECT_GT(s.construction_visits, 0u);
   EXPECT_GT(s.matches_emitted, 0u);
-  EXPECT_EQ(s.matches_emitted, sink.size());
+  EXPECT_EQ(s.matches_emitted, sink->size());
   EXPECT_EQ(engine->name(), "inorder-ssc");
 }
 
 TEST_F(InOrderEngineTest, IrrelevantTypesIgnored) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 50", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kInOrder, q, sink);
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kInOrder, q, sink);
   engine->on_event(ev("D", 0, 10));
   engine->on_event(ev("D", 1, 20));
-  const auto s = engine->stats();
+  const auto s = engine->stats_snapshot();
   EXPECT_EQ(s.events_seen, 2u);
   EXPECT_EQ(s.events_relevant, 0u);
   EXPECT_EQ(s.instances_inserted, 0u);

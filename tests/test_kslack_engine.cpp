@@ -36,34 +36,34 @@ TEST_F(KSlackTest, ReordersBoundedDisorderExactly) {
 
 TEST_F(KSlackTest, FinishDrainsBuffer) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kKSlackInOrder, q, sink, slack(1'000));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kKSlackInOrder, q, sink, slack(1'000));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("B", 1, 20));
-  EXPECT_EQ(sink.size(), 0u);  // everything still buffered
+  EXPECT_EQ(sink->size(), 0u);  // everything still buffered
   engine->finish();
-  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink->size(), 1u);
 }
 
 TEST_F(KSlackTest, DetectionDelayIsAtLeastSlackMidStream) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kKSlackInOrder, q, sink, slack(50));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kKSlackInOrder, q, sink, slack(50));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("B", 1, 20));
   engine->on_event(ev("D", 2, 75));  // releases ts<=25: A and B
-  ASSERT_EQ(sink.size(), 1u);
+  ASSERT_EQ(sink->size(), 1u);
   // Completed at ts=20, detected when clock=75 → delay 55 >= K.
-  EXPECT_GE(sink.matches()[0].detection_delay(), 50);
+  EXPECT_GE(sink->matches()[0].detection_delay(), 50);
 }
 
 TEST_F(KSlackTest, StatsMergeBufferAndInner) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kKSlackInOrder, q, sink, slack(100));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kKSlackInOrder, q, sink, slack(100));
   for (EventId i = 0; i < 50; ++i)
     engine->on_event(ev("A", i, static_cast<Timestamp>(i) + 1));
-  const auto s = engine->stats();
+  const auto s = engine->stats_snapshot();
   EXPECT_EQ(s.events_seen, 50u);
   EXPECT_GT(s.buffered, 0u);           // events still parked
   EXPECT_GT(s.footprint_peak, 40u);    // buffer dominates footprint

@@ -24,7 +24,7 @@ class MultiQueryTest : public ::testing::Test {
 };
 
 TEST_F(MultiQueryTest, RoutesEventsToRelevantEnginesOnly) {
-  CollectingTaggedSink sink;
+  const auto sink = std::make_shared<CollectingTaggedSink>();
   MultiQueryRunner runner(reg_, sink);
   const QueryId q_ab = runner.add_query("PATTERN SEQ(A a, B b) WITHIN 100",
                                         EngineKind::kOoo);
@@ -36,8 +36,8 @@ TEST_F(MultiQueryTest, RoutesEventsToRelevantEnginesOnly) {
   runner.on_event(ev("D", 3, 40));
   runner.finish();
 
-  EXPECT_EQ(sink.keys_for(q_ab), (std::vector<MatchKey>{{0, 1}}));
-  EXPECT_EQ(sink.keys_for(q_cd), (std::vector<MatchKey>{{2, 3}}));
+  EXPECT_EQ(sink->keys_for(q_ab), (std::vector<MatchKey>{{0, 1}}));
+  EXPECT_EQ(sink->keys_for(q_cd), (std::vector<MatchKey>{{2, 3}}));
   // Each engine saw only its own two events.
   EXPECT_EQ(runner.stats(q_ab).events_seen, 2u);
   EXPECT_EQ(runner.stats(q_cd).events_seen, 2u);
@@ -46,7 +46,7 @@ TEST_F(MultiQueryTest, RoutesEventsToRelevantEnginesOnly) {
 }
 
 TEST_F(MultiQueryTest, IrrelevantEventsAreSkippedEntirely) {
-  CollectingTaggedSink sink;
+  const auto sink = std::make_shared<CollectingTaggedSink>();
   MultiQueryRunner runner(reg_, sink);
   const QueryId q = runner.add_query("PATTERN SEQ(A a, B b) WITHIN 100",
                                      EngineKind::kInOrder);
@@ -57,7 +57,7 @@ TEST_F(MultiQueryTest, IrrelevantEventsAreSkippedEntirely) {
 }
 
 TEST_F(MultiQueryTest, OverlappingQueriesShareTheScan) {
-  CollectingTaggedSink sink;
+  const auto sink = std::make_shared<CollectingTaggedSink>();
   MultiQueryRunner runner(reg_, sink);
   const QueryId q1 = runner.add_query("PATTERN SEQ(A a, B b) WITHIN 100",
                                       EngineKind::kOoo);
@@ -67,12 +67,12 @@ TEST_F(MultiQueryTest, OverlappingQueriesShareTheScan) {
   runner.on_event(ev("A", 1, 20));
   runner.on_event(ev("B", 2, 30));
   runner.finish();
-  EXPECT_EQ(sink.keys_for(q1).size(), 2u);  // (0,2), (1,2)
-  EXPECT_EQ(sink.keys_for(q2).size(), 1u);  // (0,1)
+  EXPECT_EQ(sink->keys_for(q1).size(), 2u);  // (0,2), (1,2)
+  EXPECT_EQ(sink->keys_for(q2).size(), 1u);  // (0,1)
 }
 
 TEST_F(MultiQueryTest, NegationQueriesGetClockTicksFromForeignTypes) {
-  CollectingTaggedSink sink;
+  const auto sink = std::make_shared<CollectingTaggedSink>();
   MultiQueryRunner runner(reg_, sink);
   EngineOptions opt;
   opt.slack = 20;
@@ -80,17 +80,17 @@ TEST_F(MultiQueryTest, NegationQueriesGetClockTicksFromForeignTypes) {
                                      EngineKind::kOoo, opt);
   runner.on_event(ev("A", 0, 10));
   runner.on_event(ev("C", 1, 30));
-  EXPECT_EQ(sink.keys_for(q).size(), 0u);  // unsealed: clock=30, K=20
+  EXPECT_EQ(sink->keys_for(q).size(), 0u);  // unsealed: clock=30, K=20
   // A type-D event (irrelevant to the query) still advances the clock to
   // 60 > 30 + K, sealing and releasing the match.
   runner.on_event(ev("D", 2, 60));
-  EXPECT_EQ(sink.keys_for(q).size(), 1u);
+  EXPECT_EQ(sink->keys_for(q).size(), 1u);
   // The clock tick was delivered, so the engine saw 3 events.
   EXPECT_EQ(runner.stats(q).events_seen, 3u);
 }
 
 TEST_F(MultiQueryTest, AddQueryAfterStartRejected) {
-  CollectingTaggedSink sink;
+  const auto sink = std::make_shared<CollectingTaggedSink>();
   MultiQueryRunner runner(reg_, sink);
   runner.add_query("PATTERN SEQ(A a, B b) WITHIN 10", EngineKind::kOoo);
   runner.on_event(ev("A", 0, 1));
@@ -105,7 +105,7 @@ TEST_F(MultiQueryTest, ManyQueriesUnderDisorderAllExact) {
   DisorderInjector inj(LatencyModel::uniform(120), 0.25, 14);
   const auto arrivals = inj.deliver(ordered);
 
-  CollectingTaggedSink sink;
+  const auto sink = std::make_shared<CollectingTaggedSink>();
   MultiQueryRunner runner(wl.registry(), sink);
   EngineOptions opt;
   opt.slack = inj.slack_bound();
@@ -122,7 +122,7 @@ TEST_F(MultiQueryTest, ManyQueriesUnderDisorderAllExact) {
 
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const CompiledQuery q = compile_query(queries[i], wl.registry());
-    EXPECT_EQ(sink.keys_for(ids[i]), oracle_keys(q, arrivals)) << queries[i];
+    EXPECT_EQ(sink->keys_for(ids[i]), oracle_keys(q, arrivals)) << queries[i];
   }
 }
 
@@ -147,18 +147,18 @@ TEST_F(PipelineTest, TwoStageCompositionDetectsHigherLevelPattern) {
       compile_query("PATTERN SEQ(Pair p1, Pair p2) WHERE p1.k == p2.k WITHIN 500",
                     reg_);
 
-  CollectingSink final_sink;
+  const auto final_sink = std::make_shared<CollectingSink>();
   EngineOptions opt2;
   opt2.slack = 100;  // covers upstream detection delay
-  const auto downstream = make_engine(EngineKind::kOoo, q2, final_sink, opt2);
+  const auto downstream = testutil::make_test_engine(EngineKind::kOoo, q2, final_sink, opt2);
 
-  CompositeEmitter emitter(
+  const auto emitter = std::make_shared<CompositeEmitter>(
       composite_, [](const Match& m) { return std::vector<Value>{m.events[0].attr(0)}; },
       *downstream, /*first_id=*/1'000'000);
 
   EngineOptions opt1;
   opt1.slack = 60;
-  const auto upstream = make_engine(EngineKind::kOoo, q1, emitter, opt1);
+  const auto upstream = testutil::make_test_engine(EngineKind::kOoo, q1, emitter, opt1);
 
   // Two pairs for key 1 (the second pair's A arrives late), one for key 2.
   upstream->on_event(ev("A", 0, 10, 1));
@@ -170,10 +170,10 @@ TEST_F(PipelineTest, TwoStageCompositionDetectsHigherLevelPattern) {
   upstream->finish();
   downstream->finish();
 
-  EXPECT_EQ(emitter.emitted(), 3u);
-  ASSERT_EQ(final_sink.size(), 1u);  // the two key-1 pairs compose
-  EXPECT_EQ(final_sink.matches()[0].events[0].attr(0).as_int(), 1);
-  EXPECT_LE(emitter.max_downstream_lateness(), opt2.slack);
+  EXPECT_EQ(emitter->emitted(), 3u);
+  ASSERT_EQ(final_sink->size(), 1u);  // the two key-1 pairs compose
+  EXPECT_EQ(final_sink->matches()[0].events[0].attr(0).as_int(), 1);
+  EXPECT_LE(emitter->max_downstream_lateness(), opt2.slack);
 }
 
 TEST_F(PipelineTest, LateUpstreamMatchStillComposes) {
@@ -182,16 +182,16 @@ TEST_F(PipelineTest, LateUpstreamMatchStillComposes) {
   const CompiledQuery q2 =
       compile_query("PATTERN SEQ(Pair p1, Pair p2) WHERE p1.k == p2.k WITHIN 500",
                     reg_);
-  CollectingSink final_sink;
+  const auto final_sink = std::make_shared<CollectingSink>();
   EngineOptions opt2;
   opt2.slack = 100;
-  const auto downstream = make_engine(EngineKind::kOoo, q2, final_sink, opt2);
-  CompositeEmitter emitter(
+  const auto downstream = testutil::make_test_engine(EngineKind::kOoo, q2, final_sink, opt2);
+  const auto emitter = std::make_shared<CompositeEmitter>(
       composite_, [](const Match& m) { return std::vector<Value>{m.events[0].attr(0)}; },
       *downstream, 1'000'000);
   EngineOptions opt1;
   opt1.slack = 100;
-  const auto upstream = make_engine(EngineKind::kOoo, q1, emitter, opt1);
+  const auto upstream = testutil::make_test_engine(EngineKind::kOoo, q1, emitter, opt1);
 
   // The EARLIER pair completes after the later pair (its B is late), so
   // the composite events reach stage 2 out of order.
@@ -202,28 +202,28 @@ TEST_F(PipelineTest, LateUpstreamMatchStillComposes) {
   upstream->finish();
   downstream->finish();
 
-  EXPECT_EQ(emitter.emitted(), 2u);
-  EXPECT_GT(emitter.max_downstream_lateness(), 0);
-  ASSERT_EQ(final_sink.size(), 1u);
+  EXPECT_EQ(emitter->emitted(), 2u);
+  EXPECT_GT(emitter->max_downstream_lateness(), 0);
+  ASSERT_EQ(final_sink->size(), 1u);
 }
 
 TEST_F(PipelineTest, RefusesRetractions) {
   const CompiledQuery q2 =
       compile_query("PATTERN SEQ(Pair p1, Pair p2) WITHIN 500", reg_);
-  CollectingSink final_sink;
-  const auto downstream = make_engine(EngineKind::kOoo, q2, final_sink, {});
-  CompositeEmitter emitter(
+  const auto final_sink = std::make_shared<CollectingSink>();
+  const auto downstream = testutil::make_test_engine(EngineKind::kOoo, q2, final_sink, {});
+  const auto emitter = std::make_shared<CompositeEmitter>(
       composite_, [](const Match&) { return std::vector<Value>{Value(0)}; },
       *downstream, 1);
   Match m;
   m.events.push_back(Event{});
-  EXPECT_THROW(emitter.on_retract(m), std::logic_error);
+  EXPECT_THROW(emitter->on_retract(m), std::logic_error);
 }
 
 TEST_F(PipelineTest, ValidatesConstruction) {
   const CompiledQuery q2 = compile_query("PATTERN SEQ(Pair p1, Pair p2) WITHIN 500", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q2, sink, {});
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q2, sink, {});
   EXPECT_THROW(CompositeEmitter(kInvalidType, [](const Match&) {
                  return std::vector<Value>{};
                }, *engine, 1),

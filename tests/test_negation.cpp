@@ -31,56 +31,56 @@ class NegationTest : public ::testing::Test {
 
 TEST_F(NegationTest, LateNegativeCancelsPendingMatch) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(50));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, slack(50));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("C", 1, 30));
   // Interval (10,30) unsealed (clock=30, K=50) → match pends.
-  EXPECT_EQ(sink.size(), 0u);
-  EXPECT_EQ(engine->stats().pending_matches, 1u);
+  EXPECT_EQ(sink->size(), 0u);
+  EXPECT_EQ(engine->stats_snapshot().pending_matches, 1u);
   // The violating B arrives late, inside the interval.
   engine->on_event(ev("B", 2, 20));
   engine->finish();
-  EXPECT_EQ(sink.size(), 0u);
-  EXPECT_EQ(engine->stats().matches_cancelled, 1u);
+  EXPECT_EQ(sink->size(), 0u);
+  EXPECT_EQ(engine->stats_snapshot().matches_cancelled, 1u);
 }
 
 TEST_F(NegationTest, PendingMatchEmittedOnceIntervalSeals) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(50));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, slack(50));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("C", 1, 30));
-  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink->size(), 0u);
   // Clock reaches 30 + K = 80: interval sealed, match released.
   engine->on_event(ev("D", 2, 81));
-  EXPECT_EQ(sink.size(), 1u);
-  EXPECT_EQ(engine->stats().pending_matches, 0u);
+  EXPECT_EQ(sink->size(), 1u);
+  EXPECT_EQ(engine->stats_snapshot().pending_matches, 0u);
   // Emission delay is the sealing wait, charged in stream time.
-  EXPECT_EQ(sink.matches()[0].detection_delay(), 81 - 30);
+  EXPECT_EQ(sink->matches()[0].detection_delay(), 81 - 30);
 }
 
 TEST_F(NegationTest, AlreadySealedIntervalEmitsImmediately) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(10));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, slack(10));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("D", 1, 100));  // clock far ahead
   engine->on_event(ev("C", 2, 30));   // late trigger; interval (10,30) sealed
-  EXPECT_EQ(sink.size(), 1u);
-  EXPECT_EQ(engine->stats().pending_peak, 0u);
+  EXPECT_EQ(sink->size(), 1u);
+  EXPECT_EQ(engine->stats_snapshot().pending_peak, 0u);
 }
 
 TEST_F(NegationTest, NegativePresentBeforeCandidateKillsImmediately) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(50));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, slack(50));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("B", 1, 20));
   engine->on_event(ev("C", 2, 30));
   engine->finish();
-  EXPECT_EQ(sink.size(), 0u);
-  EXPECT_EQ(engine->stats().pending_peak, 0u);  // never pended
+  EXPECT_EQ(sink->size(), 0u);
+  EXPECT_EQ(engine->stats_snapshot().pending_peak, 0u);  // never pended
 }
 
 TEST_F(NegationTest, NegationPredicatesRespectKeys) {
@@ -122,12 +122,12 @@ TEST_F(NegationTest, ZeroSlackNegationEmitsPromptly) {
   // K = 0: stream contractually in order, intervals seal as the clock
   // passes them.
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(0));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, slack(0));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("C", 1, 30));
   // seal needs clock >= 30 + 0; clock == 30 already → immediate.
-  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink->size(), 1u);
 }
 
 TEST_F(NegationTest, RfidShopliftingScenarioEndToEnd) {

@@ -68,24 +68,24 @@ TEST_F(NfaEngineTest, AnEventNeverExtendsItsOwnRun) {
 TEST_F(NfaEngineTest, RunCountGrowsWithPartialMatches) {
   // Many A's, no B: state holds one run per A until purge.
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 1000", reg_);
-  CollectingSink sink;
+  const auto sink = std::make_shared<CollectingSink>();
   EngineOptions opt;
   opt.purge_period = 0;
-  const auto engine = make_engine(EngineKind::kNfa, q, sink, opt);
+  const auto engine = testutil::make_test_engine(EngineKind::kNfa, q, sink, opt);
   for (EventId i = 0; i < 500; ++i)
     engine->on_event(ev("A", i, static_cast<Timestamp>(i) + 1));
-  EXPECT_EQ(engine->stats().current_instances, 500u);
+  EXPECT_EQ(engine->stats_snapshot().current_instances, 500u);
 }
 
 TEST_F(NfaEngineTest, PurgeDropsExpiredRuns) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
-  CollectingSink sink;
+  const auto sink = std::make_shared<CollectingSink>();
   EngineOptions opt;
   opt.purge_period = 1;
-  const auto engine = make_engine(EngineKind::kNfa, q, sink, opt);
+  const auto engine = testutil::make_test_engine(EngineKind::kNfa, q, sink, opt);
   for (EventId i = 0; i < 100; ++i)
     engine->on_event(ev("A", i, static_cast<Timestamp>(i) * 5));
-  const auto s = engine->stats();
+  const auto s = engine->stats_snapshot();
   EXPECT_LT(s.current_instances, 5u);
   EXPECT_GT(s.instances_purged, 90u);
 }

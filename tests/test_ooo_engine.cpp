@@ -197,12 +197,12 @@ TEST_F(OooEngineTest, PurgeBoundsMemoryUnderDisorder) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 50", reg_);
   EngineOptions opt = slack(40);
   opt.purge_period = 16;
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, opt);
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, opt);
   EventId id = 0;
   for (int i = 0; i < 5'000; ++i)
     engine->on_event(ev(i % 2 ? "B" : "A", id++, static_cast<Timestamp>(i) * 4));
-  const auto s = engine->stats();
+  const auto s = engine->stats_snapshot();
   EXPECT_GT(s.instances_purged, 4'000u);
   // W+K = 90 ticks ≈ 23 events of live horizon; generous bound.
   EXPECT_LT(s.footprint_peak, 120u);
@@ -212,22 +212,22 @@ TEST_F(OooEngineTest, NoPurgeGrowsUnbounded) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 50", reg_);
   EngineOptions opt = slack(40);
   opt.purge_period = 0;
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, opt);
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, opt);
   for (int i = 0; i < 2'000; ++i)
     engine->on_event(ev(i % 2 ? "B" : "A", static_cast<EventId>(i),
                         static_cast<Timestamp>(i) * 4));
-  EXPECT_EQ(engine->stats().current_instances, 2'000u);
+  EXPECT_EQ(engine->stats_snapshot().current_instances, 2'000u);
 }
 
 TEST_F(OooEngineTest, StatsLateEventsCounted) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(50));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, slack(50));
   engine->on_event(ev("A", 0, 100));
   engine->on_event(ev("B", 1, 90));   // late
   engine->on_event(ev("B", 2, 120));  // in order
-  EXPECT_EQ(engine->stats().late_events, 1u);
+  EXPECT_EQ(engine->stats_snapshot().late_events, 1u);
   EXPECT_EQ(engine->name(), "ooo-native");
 }
 
@@ -249,14 +249,14 @@ TEST_F(OooEngineTest, SameTypeMultipleStepsOutOfOrder) {
 
 TEST_F(OooEngineTest, FinishFlushesWithoutClockAdvance) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, slack(1'000));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, slack(1'000));
   engine->on_event(ev("A", 0, 10));
   engine->on_event(ev("C", 1, 30));
   // Interval (10,30) cannot seal with slack 1000 unless finish() forces it.
-  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink->size(), 0u);
   engine->finish();
-  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink->size(), 1u);
 }
 
 }  // namespace

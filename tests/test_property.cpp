@@ -76,11 +76,11 @@ TEST_P(EngineProperty, CorrectEnginesAreExact) {
   {
     EngineOptions aopt = bopt;
     aopt.aggressive_negation = true;
-    CollectingSink sink;
-    const auto engine = make_engine(EngineKind::kOoo, q, sink, aopt);
+    const auto sink = std::make_shared<CollectingSink>();
+    const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, aopt);
     for (const Event& e : arrivals) engine->on_event(e);
     engine->finish();
-    EXPECT_EQ(sink.net_sorted_keys(), oracle_keys(q, arrivals)) << "aggressive net";
+    EXPECT_EQ(sink->net_sorted_keys(), oracle_keys(q, arrivals)) << "aggressive net";
   }
 
   // Plain in-order engines are exact only when the stream stayed ordered.

@@ -91,48 +91,48 @@ class RobustnessTest : public ::testing::Test {
 // lateness 11 — a contract violation whichever engine observes it.
 TEST_F(RobustnessTest, AdmitPolicyProcessesViolatorBestEffort) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, late(LatePolicy::kAdmit));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, late(LatePolicy::kAdmit));
   engine->on_event(ev("A", 0, 100));
   engine->on_event(ev("D", 1, 116));
   engine->on_event(ev("B", 2, 105));
   engine->finish();
-  const EngineStats s = engine->stats();
+  const EngineStats s = engine->stats_snapshot();
   EXPECT_EQ(s.contract_violations, 1u);
   EXPECT_EQ(s.events_dropped_late, 0u);
   EXPECT_EQ(s.events_quarantined, 0u);
-  EXPECT_EQ(sink.size(), 1u);  // state survived (no purge), so it matched
+  EXPECT_EQ(sink->size(), 1u);  // state survived (no purge), so it matched
 }
 
 TEST_F(RobustnessTest, DropPolicyDiscardsViolatorWithAccounting) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, late(LatePolicy::kDrop));
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, late(LatePolicy::kDrop));
   engine->on_event(ev("A", 0, 100));
   engine->on_event(ev("D", 1, 116));
   engine->on_event(ev("B", 2, 105));
   engine->finish();
-  const EngineStats s = engine->stats();
+  const EngineStats s = engine->stats_snapshot();
   EXPECT_EQ(s.contract_violations, 1u);
   EXPECT_EQ(s.events_dropped_late, 1u);
-  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink->size(), 0u);
   EXPECT_TRUE(engine->drain_quarantine().empty());
 }
 
 TEST_F(RobustnessTest, QuarantinePolicyParksViolatorForDrain) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
-  CollectingSink sink;
+  const auto sink = std::make_shared<CollectingSink>();
   const auto engine =
-      make_engine(EngineKind::kOoo, q, sink, late(LatePolicy::kQuarantine));
+      testutil::make_test_engine(EngineKind::kOoo, q, sink, late(LatePolicy::kQuarantine));
   engine->on_event(ev("A", 0, 100));
   engine->on_event(ev("D", 1, 116));
   engine->on_event(ev("B", 2, 105));
   engine->finish();
-  const EngineStats s = engine->stats();
+  const EngineStats s = engine->stats_snapshot();
   EXPECT_EQ(s.contract_violations, 1u);
   EXPECT_EQ(s.events_quarantined, 1u);
   EXPECT_EQ(s.events_dropped_late, 0u);
-  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink->size(), 0u);
   const auto parked = engine->drain_quarantine();
   ASSERT_EQ(parked.size(), 1u);
   EXPECT_EQ(parked[0].id, 2u);
@@ -143,15 +143,15 @@ TEST_F(RobustnessTest, QuarantineOverflowFallsBackToDropAccounting) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
   EngineOptions opt = late(LatePolicy::kQuarantine);
   opt.quarantine_capacity = 2;
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, opt);
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, opt);
   engine->on_event(ev("A", 0, 100));
   engine->on_event(ev("D", 1, 120));  // seal watermark passes 107
   engine->on_event(ev("B", 2, 105));
   engine->on_event(ev("B", 3, 106));
   engine->on_event(ev("B", 4, 107));  // over capacity: dropped, not parked
   engine->finish();
-  const EngineStats s = engine->stats();
+  const EngineStats s = engine->stats_snapshot();
   EXPECT_EQ(s.contract_violations, 3u);
   EXPECT_EQ(s.events_quarantined, 2u);
   EXPECT_EQ(s.events_dropped_late, 1u);
@@ -173,27 +173,27 @@ TEST_F(RobustnessTest, KSlackBufferAppliesTheSamePolicies) {
 
   for (const LatePolicy policy :
        {LatePolicy::kAdmit, LatePolicy::kDrop, LatePolicy::kQuarantine}) {
-    CollectingSink sink;
+    const auto sink = std::make_shared<CollectingSink>();
     const auto engine =
-        make_engine(EngineKind::kKSlackInOrder, q, sink, late(policy));
+        testutil::make_test_engine(EngineKind::kKSlackInOrder, q, sink, late(policy));
     for (const Event& e : arrivals) engine->on_event(e);
     engine->finish();
-    const EngineStats s = engine->stats();
+    const EngineStats s = engine->stats_snapshot();
     EXPECT_EQ(s.contract_violations, 1u) << to_string(policy);
     switch (policy) {
       case LatePolicy::kAdmit:
         // Best effort worked out here: the violator drained from the
         // buffer behind A@100, so the inner engine still saw ts order.
-        EXPECT_EQ(sink.size(), 1u);
+        EXPECT_EQ(sink->size(), 1u);
         break;
       case LatePolicy::kDrop:
         EXPECT_EQ(s.events_dropped_late, 1u);
-        EXPECT_EQ(sink.size(), 0u);
+        EXPECT_EQ(sink->size(), 0u);
         break;
       case LatePolicy::kQuarantine:
         EXPECT_EQ(s.events_quarantined, 1u);
         EXPECT_EQ(engine->drain_quarantine().size(), 1u);
-        EXPECT_EQ(sink.size(), 0u);
+        EXPECT_EQ(sink->size(), 0u);
         break;
     }
   }
@@ -231,12 +231,12 @@ TEST_F(RobustnessTest, MalformedEventsAreRejectedNotProcessed) {
     EngineOptions opt;
     opt.slack = 5;
     opt.registry = &reg_;
-    CollectingSink sink;
-    const auto engine = make_engine(kind, q, sink, opt);
+    const auto sink = std::make_shared<CollectingSink>();
+    const auto engine = testutil::make_test_engine(kind, q, sink, opt);
     for (const Event& e : arrivals) engine->on_event(e);  // must not fault
     engine->finish();
-    EXPECT_EQ(engine->stats().events_rejected, 3u) << to_string(kind);
-    EXPECT_EQ(sink.size(), 1u) << to_string(kind);  // the well-formed pair
+    EXPECT_EQ(engine->stats_snapshot().events_rejected, 3u) << to_string(kind);
+    EXPECT_EQ(sink->size(), 1u) << to_string(kind);  // the well-formed pair
   }
 }
 
@@ -244,11 +244,11 @@ TEST_F(RobustnessTest, InvalidTypeIdRejectedEvenWithoutRegistry) {
   const CompiledQuery q = compile_query("PATTERN SEQ(A a, B b) WITHIN 10", reg_);
   Event poison = ev("A", 0, 100);
   poison.type = kInvalidType;
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, {});
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, {});
   engine->on_event(poison);
   engine->finish();
-  EXPECT_EQ(engine->stats().events_rejected, 1u);
+  EXPECT_EQ(engine->stats_snapshot().events_rejected, 1u);
 }
 
 TEST_F(RobustnessTest, DuplicateDeliveryInflatesMatchesUnlessDeduped) {
@@ -265,12 +265,12 @@ TEST_F(RobustnessTest, DuplicateDeliveryInflatesMatchesUnlessDeduped) {
     EXPECT_EQ(naive.size(), 2u) << to_string(kind) << ": retry re-matched";
 
     opt.dedup_by_id = true;
-    CollectingSink sink;
-    const auto engine = make_engine(kind, q, sink, opt);
+    const auto sink = std::make_shared<CollectingSink>();
+    const auto engine = testutil::make_test_engine(kind, q, sink, opt);
     for (const Event& e : arrivals) engine->on_event(e);
     engine->finish();
-    EXPECT_EQ(sink.size(), 1u) << to_string(kind);
-    EXPECT_EQ(engine->stats().events_deduped, 1u) << to_string(kind);
+    EXPECT_EQ(sink->size(), 1u) << to_string(kind);
+    EXPECT_EQ(engine->stats_snapshot().events_deduped, 1u) << to_string(kind);
   }
 }
 
@@ -326,31 +326,31 @@ TEST_F(RobustnessTest, AdaptiveSlackTracksALatenessRampExactly) {
   EngineOptions fixed;
   fixed.slack = 4;
   fixed.purge_period = 1;
-  CollectingSink fixed_sink;
+  const auto fixed_sink = std::make_shared<CollectingSink>();
   {
-    const auto engine = make_engine(EngineKind::kOoo, q, fixed_sink, fixed);
+    const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, fixed_sink, fixed);
     for (const Event& e : arrivals) engine->on_event(e);
     engine->finish();
-    EXPECT_GT(engine->stats().contract_violations, 0u);
+    EXPECT_GT(engine->stats_snapshot().contract_violations, 0u);
   }
   const VerifyResult fixed_v =
-      verify_against_oracle(q, arrivals, fixed_sink.matches());
+      verify_against_oracle(q, arrivals, fixed_sink->matches());
   EXPECT_GT(fixed_v.missed, 0u);
   EXPECT_LT(fixed_v.recall(), 1.0);
 
   // Same stream, same initial K, adaptive: the estimator's headroom stays
   // ahead of the ramp, so no violation ever happens and (with kDrop armed
   // to punish any slip) the result set is still exact.
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, adaptive_options());
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, adaptive_options());
   for (const Event& e : arrivals) engine->on_event(e);
   engine->finish();
-  const EngineStats s = engine->stats();
+  const EngineStats s = engine->stats_snapshot();
   EXPECT_EQ(s.contract_violations, 0u);
   EXPECT_EQ(s.events_dropped_late, 0u);
   EXPECT_GE(s.slack_grows, 2u);
   EXPECT_GT(s.effective_slack, 4);
-  const VerifyResult v = verify_against_oracle(q, arrivals, sink.matches());
+  const VerifyResult v = verify_against_oracle(q, arrivals, sink->matches());
   EXPECT_TRUE(v.exact()) << "missed=" << v.missed
                          << " false_positives=" << v.false_positives;
 }
@@ -363,16 +363,16 @@ TEST_F(RobustnessTest, AdaptiveSlackShrinksBackAfterTheSpike) {
 
   EngineOptions opt = adaptive_options();
   opt.slack_estimator.window = 32;  // let the calm tail flush the spike out
-  CollectingSink sink;
-  const auto engine = make_engine(EngineKind::kOoo, q, sink, opt);
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = testutil::make_test_engine(EngineKind::kOoo, q, sink, opt);
   for (const Event& e : arrivals) engine->on_event(e);
   engine->finish();
-  const EngineStats s = engine->stats();
+  const EngineStats s = engine->stats_snapshot();
   EXPECT_EQ(s.contract_violations, 0u);
   EXPECT_GE(s.slack_grows, 2u);
   EXPECT_GE(s.slack_shrinks, 1u);
   EXPECT_LT(s.effective_slack, 28);  // back near the calm-phase bound
-  const VerifyResult v = verify_against_oracle(q, arrivals, sink.matches());
+  const VerifyResult v = verify_against_oracle(q, arrivals, sink->matches());
   EXPECT_TRUE(v.exact()) << "missed=" << v.missed
                          << " false_positives=" << v.false_positives;
 }
@@ -382,15 +382,15 @@ TEST_F(RobustnessTest, KSlackBufferAdaptsItsReleaseThresholdToo) {
       compile_query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 10", reg_);
   const auto arrivals =
       make_ramp(reg_, {{3, 4}, {5, 4}, {7, 4}, {10, 4}, {14, 4}, {20, 4}, {28, 4}});
-  CollectingSink sink;
+  const auto sink = std::make_shared<CollectingSink>();
   const auto engine =
-      make_engine(EngineKind::kKSlackInOrder, q, sink, adaptive_options());
+      testutil::make_test_engine(EngineKind::kKSlackInOrder, q, sink, adaptive_options());
   for (const Event& e : arrivals) engine->on_event(e);
   engine->finish();
-  const EngineStats s = engine->stats();
+  const EngineStats s = engine->stats_snapshot();
   EXPECT_EQ(s.contract_violations, 0u);
   EXPECT_GE(s.slack_grows, 2u);
-  const VerifyResult v = verify_against_oracle(q, arrivals, sink.matches());
+  const VerifyResult v = verify_against_oracle(q, arrivals, sink->matches());
   EXPECT_TRUE(v.exact()) << "missed=" << v.missed
                          << " false_positives=" << v.false_positives;
 }
@@ -408,19 +408,19 @@ TEST_F(RobustnessTest, UpstreamRetractionIsRefusedByCompositeEmitter) {
   const CompiledQuery q2 =
       compile_query("PATTERN SEQ(Pair p1, Pair p2) WITHIN 500", reg_);
 
-  CollectingSink final_sink;
-  const auto downstream = make_engine(EngineKind::kOoo, q2, final_sink, {});
-  CompositeEmitter emitter(
+  const auto final_sink = std::make_shared<CollectingSink>();
+  const auto downstream = testutil::make_test_engine(EngineKind::kOoo, q2, final_sink, {});
+  const auto emitter = std::make_shared<CompositeEmitter>(
       composite, [](const Match& m) { return std::vector<Value>{m.events[0].attr(0)}; },
       *downstream, 1'000'000);
   EngineOptions opt;
   opt.slack = 100;
   opt.aggressive_negation = true;
-  const auto upstream = make_engine(EngineKind::kOoo, q1, emitter, opt);
+  const auto upstream = testutil::make_test_engine(EngineKind::kOoo, q1, emitter, opt);
 
   upstream->on_event(ev("A", 0, 10));
   upstream->on_event(ev("C", 1, 30));  // optimistic emission composes
-  EXPECT_EQ(emitter.emitted(), 1u);
+  EXPECT_EQ(emitter->emitted(), 1u);
   // The late negative invalidates the already-composed match.
   EXPECT_THROW(upstream->on_event(ev("B", 2, 20)), std::logic_error);
 }
