@@ -1,0 +1,105 @@
+// Experiment R-O1 — what the observability layer costs on the hot path.
+//
+// Fixed: a keyed 3-step query over the F6-style partitioned workload
+// (10% disorder, K = 300) driven through the Session API, single shard
+// so the measurement is pure engine hot path, no queue noise. Varies
+// only the instrumentation state:
+//
+//   off        .metrics(false) — every instrument pointer null, the hot
+//              path pays one predicted branch per site (the floor)
+//   on         metrics enabled (the default): relaxed-atomic counter /
+//              gauge / histogram updates per decision point
+//   on+scrape  metrics enabled plus a 10 ms periodic reporter rendering
+//              the full text exposition concurrently with streaming
+//
+// Reported: ev/s per state and overhead_pct relative to `off`. The
+// acceptance bar (EXPERIMENTS.md R-O1) is < 5% for `on`.
+#include <chrono>
+#include <string>
+
+#include "bench_util.hpp"
+#include "runtime/session.hpp"
+
+namespace {
+
+using namespace oosp;
+using benchutil::Scenario;
+
+const Scenario& scenario() {
+  static const Scenario sc = [] {
+    SyntheticConfig cfg;
+    cfg.num_events = 200'000;
+    cfg.num_types = 3;
+    cfg.key_cardinality = 1'024;
+    cfg.mean_gap = 5;
+    cfg.seed = 3001;
+    SyntheticWorkload proto(cfg);
+    return benchutil::make_scenario(cfg, proto.seq_query(3, true, 1'000), 0.10, 300);
+  }();
+  return sc;
+}
+
+enum class ObsState { kOff, kOn, kOnScrape };
+
+double& baseline_evps() {
+  static double evps = 0.0;
+  return evps;
+}
+
+void run_obs(benchmark::State& state, ObsState obs) {
+  const Scenario& sc = scenario();
+  std::uint64_t matches = 0;
+  double evps = 0.0;
+  for (auto _ : state) {
+    const auto sink = std::make_shared<CollectingTaggedSink>();
+    SessionConfig config;
+    config.engine(EngineKind::kOoo).slack(sc.slack).query(sc.query->text());
+    if (obs == ObsState::kOff) config.metrics(false);
+    if (obs == ObsState::kOnScrape) {
+      config.report_every(std::chrono::milliseconds(10));
+      config.report_to([](const std::string& text) { benchmark::DoNotOptimize(text); });
+    }
+    Session session(sc.workload->registry(), std::move(config), sink);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Event& e : sc.arrivals) session.on_event(e);
+    session.close();
+    const auto t1 = std::chrono::steady_clock::now();
+    matches = sink->matches().size();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    evps = secs > 0.0 ? static_cast<double>(sc.arrivals.size()) / secs : 0.0;
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sc.arrivals.size()));
+  state.counters["ev/s"] = benchmark::Counter(evps);
+  state.counters["matches"] = benchmark::Counter(static_cast<double>(matches));
+  if (obs == ObsState::kOff) baseline_evps() = evps;
+  if (obs != ObsState::kOff && baseline_evps() > 0.0)
+    state.counters["overhead_pct"] =
+        benchmark::Counter(100.0 * (baseline_evps() - evps) / baseline_evps());
+}
+
+void register_benchmarks() {
+  const struct {
+    const char* name;
+    ObsState obs;
+  } cases[] = {
+      {"O1/session-ooo/metrics:off", ObsState::kOff},
+      {"O1/session-ooo/metrics:on", ObsState::kOn},
+      {"O1/session-ooo/metrics:on+scrape", ObsState::kOnScrape},
+  };
+  for (const auto& c : cases)
+    benchmark::RegisterBenchmark(c.name,
+                                 [obs = c.obs](benchmark::State& state) {
+                                   run_obs(state, obs);
+                                 })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  return oosp::benchutil::run_benchmark_main(argc, argv);
+}

@@ -68,11 +68,17 @@ int main() {
   session.on_event(event("Order", 2, 70, 8, 15.0));
   session.on_event(event("Payment", 3, 90, 8, 15.0));
   session.on_event(event("Payment", 4, 95, 9, 2.0));   // below amount filter
-  session.finish();
+  session.close();
 
   const EngineStats stats = session.total_stats();
   std::cout << "\nprocessed " << stats.events_seen << " events ("
             << stats.late_events << " late), emitted " << stats.matches_emitted
             << " matches, peak state " << stats.footprint_peak << " entries\n";
+
+  // 4. Observability: every Session owns a metrics registry (disable
+  //    with .metrics(false)); this is the Prometheus-style exposition a
+  //    scrape endpoint would serve. Works mid-run too — the instruments
+  //    are lock-free atomics.
+  std::cout << "\n--- metrics exposition ---\n" << session.metrics_text();
   return 0;
 }

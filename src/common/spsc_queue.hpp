@@ -75,6 +75,15 @@ class SpscQueue {
 
   std::size_t capacity() const noexcept { return mask_; }  // usable slots
 
+  // Occupancy snapshot for observability gauges. Approximate under
+  // concurrency (the two indices are read at different instants) but
+  // always within [0, capacity()]; exact once the other side quiesces.
+  std::size_t size_approx() const noexcept {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (tail - head) & mask_;
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t mask_ = 0;

@@ -38,14 +38,14 @@ double StatAccumulator::variance() const noexcept {
 
 double StatAccumulator::stddev() const noexcept { return std::sqrt(variance()); }
 
-Histogram::Histogram(double min_value, double growth, std::size_t buckets)
+QuantileHistogram::QuantileHistogram(double min_value, double growth, std::size_t buckets)
     : min_value_(min_value), growth_(growth), counts_(buckets, 0) {
   OOSP_REQUIRE(min_value > 0.0, "histogram min_value must be positive");
   OOSP_REQUIRE(growth > 1.0, "histogram growth must exceed 1");
   OOSP_REQUIRE(buckets >= 2, "histogram needs at least two buckets");
 }
 
-std::size_t Histogram::bucket_for(double x) const noexcept {
+std::size_t QuantileHistogram::bucket_for(double x) const noexcept {
   // bucket i covers [min_value * growth^i, min_value * growth^(i+1))
   const double r = std::log(x / min_value_) / std::log(growth_);
   const auto i = static_cast<std::ptrdiff_t>(std::floor(r));
@@ -53,15 +53,15 @@ std::size_t Histogram::bucket_for(double x) const noexcept {
   return std::min(static_cast<std::size_t>(i), counts_.size() - 1);
 }
 
-double Histogram::bucket_lo(std::size_t i) const noexcept {
+double QuantileHistogram::bucket_lo(std::size_t i) const noexcept {
   return min_value_ * std::pow(growth_, static_cast<double>(i));
 }
 
-double Histogram::bucket_hi(std::size_t i) const noexcept {
+double QuantileHistogram::bucket_hi(std::size_t i) const noexcept {
   return min_value_ * std::pow(growth_, static_cast<double>(i + 1));
 }
 
-void Histogram::add(double x) noexcept {
+void QuantileHistogram::add(double x) noexcept {
   ++total_;
   max_seen_ = std::max(max_seen_, x);
   if (x < min_value_) {
@@ -71,7 +71,7 @@ void Histogram::add(double x) noexcept {
   ++counts_[bucket_for(x)];
 }
 
-void Histogram::merge(const Histogram& other) {
+void QuantileHistogram::merge(const QuantileHistogram& other) {
   OOSP_REQUIRE(counts_.size() == other.counts_.size() && min_value_ == other.min_value_ &&
                    growth_ == other.growth_,
                "histogram shapes differ");
@@ -81,13 +81,13 @@ void Histogram::merge(const Histogram& other) {
   max_seen_ = std::max(max_seen_, other.max_seen_);
 }
 
-void Histogram::reset() noexcept {
+void QuantileHistogram::reset() noexcept {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_ = underflow_ = 0;
   max_seen_ = 0.0;
 }
 
-double Histogram::quantile(double q) const noexcept {
+double QuantileHistogram::quantile(double q) const noexcept {
   if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(total_);

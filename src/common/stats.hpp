@@ -37,13 +37,13 @@ class StatAccumulator {
 // Log-bucketed histogram for non-negative values (latencies, sizes).
 // Buckets grow geometrically from `min_value`; quantiles are estimated by
 // linear interpolation inside the winning bucket. Memory is O(buckets).
-class Histogram {
+class QuantileHistogram {
  public:
-  explicit Histogram(double min_value = 1.0, double growth = 1.25,
+  explicit QuantileHistogram(double min_value = 1.0, double growth = 1.25,
                      std::size_t buckets = 128);
 
   void add(double x) noexcept;
-  void merge(const Histogram& other);
+  void merge(const QuantileHistogram& other);
   void reset() noexcept;
 
   std::uint64_t count() const noexcept { return total_; }

@@ -20,15 +20,24 @@ KSlackEngine::KSlackEngine(EngineContext ctx, const EngineFactory& factory)
   inner_options.dedup_by_id = false;
   inner_options.late_policy = LatePolicy::kAdmit;
   inner_options.adaptive_slack = false;
+  // The inner engine re-sees every released event; arrival-side
+  // instruments stay with this wrapper so the registry counts each event
+  // once (mirrors the stats_snapshot() merge below).
+  inner_options.obs_arrival_side = false;
   inner_ = factory(EngineContext{ctx_.query, stamp_, inner_options});
   OOSP_REQUIRE(inner_ != nullptr, "engine factory returned null");
+  obs_.add_reorder_buffer(options_.metrics);
 }
 
 void KSlackEngine::on_event(const Event& e) {
   ++stats_.events_seen;
+  EngineObs::inc(obs_.events);
   if (!admission_.admit(e)) return;
   const Timestamp lateness = clock_.observe(e);
-  if (lateness > 0) ++stats_.late_events;
+  if (lateness > 0) {
+    ++stats_.late_events;
+    EngineObs::inc(obs_.late);
+  }
   if (options_.adaptive_slack) {
     estimator_.observe(lateness);
     const Timestamp est = estimator_.estimate();
@@ -48,6 +57,7 @@ void KSlackEngine::on_event(const Event& e) {
     // Everything at the watermark and below was already released: this
     // event would reach the inner engine out of order no matter what.
     ++stats_.contract_violations;
+    EngineObs::inc(obs_.violations);
     if (!admission_.admit_violation(e)) {
       stats_.note_footprint(buffer_.size() + admission_.quarantine_size() +
                             inner_->stats_snapshot().footprint());
@@ -59,6 +69,8 @@ void KSlackEngine::on_event(const Event& e) {
   release_up_to(clock_.now() - clock_.slack());
   stats_.note_footprint(buffer_.size() + admission_.quarantine_size() +
                         inner_->stats_snapshot().footprint());
+  EngineObs::set(obs_.reorder_depth, static_cast<std::int64_t>(buffer_.size()));
+  EngineObs::set(obs_.effective_slack, clock_.slack());
 }
 
 void KSlackEngine::release_up_to(Timestamp threshold) {
@@ -67,6 +79,7 @@ void KSlackEngine::release_up_to(Timestamp threshold) {
     inner_->on_event(buffer_.top());
     buffer_.pop();
     stats_.note_unbuffered(1);
+    EngineObs::inc(obs_.releases);
   }
 }
 
@@ -77,8 +90,10 @@ void KSlackEngine::finish() {
     inner_->on_event(buffer_.top());
     buffer_.pop();
     stats_.note_unbuffered(1);
+    EngineObs::inc(obs_.releases);
   }
   inner_->finish();
+  EngineObs::set(obs_.reorder_depth, 0);
 }
 
 EngineStats KSlackEngine::stats_snapshot() const {

@@ -14,6 +14,8 @@
 #include "engine/core/sink.hpp"
 #include "engine/core/stats.hpp"
 #include "event/event.hpp"
+#include "obs/engine_obs.hpp"
+#include "obs/trace.hpp"
 #include "query/compiled.hpp"
 #include "stream/slack_estimator.hpp"
 
@@ -90,6 +92,22 @@ struct EngineOptions {
   // predecessor range by binary search during construction (R-A3).
   bool cache_rip = false;
 
+  // Observability (see src/obs/): when set, the engine registers its
+  // instrument slots here at construction and updates them on the hot
+  // path with relaxed atomics — safe to scrape from another thread while
+  // streaming. Borrowed; must outlive the engine. Null disables metrics
+  // at near-zero cost (one predicted branch per update site).
+  MetricsRegistry* metrics = nullptr;
+
+  // Span-event callback for match-lifecycle tracing (obs/trace.hpp).
+  // Unset (the default) costs one predicted branch per decision point.
+  TraceHook trace;
+
+  // Internal: cleared by wrapper engines (K-slack) for their inner
+  // engine, which sees each event a second time — the wrapper owns
+  // admission and registers the arrival-side instruments exactly once.
+  bool obs_arrival_side = true;
+
   // OOO engine only: output policy for matches with negated steps.
   //
   // Conservative (false, default): hold a candidate until its negation
@@ -125,7 +143,8 @@ class PatternEngine {
       : ctx_(std::move(ctx)),
         query_(checked_query(ctx_)),
         sink_(checked_sink(ctx_)),
-        options_(ctx_.options) {}
+        options_(ctx_.options),
+        obs_(EngineObs::create(options_.metrics, options_.obs_arrival_side)) {}
   virtual ~PatternEngine() = default;
 
   PatternEngine(const PatternEngine&) = delete;
@@ -150,10 +169,6 @@ class PatternEngine {
   // snapshots with EngineStats::operator+= after the workers are joined.
   virtual EngineStats stats_snapshot() const { return stats_; }
 
-  [[deprecated("use stats_snapshot()")]] EngineStats stats() const {
-    return stats_snapshot();
-  }
-
   const CompiledQuery& query() const noexcept { return query_; }
   const EngineOptions& options() const noexcept { return options_; }
   const std::shared_ptr<MatchSink>& sink_ptr() const noexcept { return ctx_.sink; }
@@ -164,7 +179,22 @@ class PatternEngine {
  protected:
   void emit(Match&& m) {
     ++stats_.matches_emitted;
+    if (obs_.matches != nullptr) {
+      obs_.matches->inc();
+      if (m.detection_clock != kMinTimestamp)
+        obs_.latency_stream->observe_signed(m.detection_delay());
+    }
+    if (options_.trace)
+      options_.trace(
+          TraceSpan{TraceKind::kEmit, m.last_ts(), m.detection_clock, &m, nullptr});
     sink_.on_match(std::move(m));
+  }
+
+  // Fires a trace span when a hook is installed; one predicted branch
+  // otherwise. Pointers are borrowed for the duration of the callback.
+  void trace_span(TraceKind kind, Timestamp ts, Timestamp clock,
+                  const Match* m = nullptr, const Event* e = nullptr) const {
+    if (options_.trace) options_.trace(TraceSpan{kind, ts, clock, m, e});
   }
 
  private:
@@ -183,6 +213,7 @@ class PatternEngine {
   const CompiledQuery& query_;
   MatchSink& sink_;
   EngineOptions options_;
+  EngineObs obs_;
   EngineStats stats_;
 };
 

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "common/contracts.hpp"
+
 namespace oosp {
 
 struct EngineStats {
@@ -75,7 +77,11 @@ struct EngineStats {
     ++current_instances;
     peak_instances = current_instances > peak_instances ? current_instances : peak_instances;
   }
-  void note_instances_removed(std::uint64_t n) noexcept {
+  // Debug builds trap removal of more state than is live: a silent u64
+  // underflow here corrupts footprint() — and with it every memory table
+  // in EXPERIMENTS.md — so a double-purge must fail loudly, not quietly.
+  void note_instances_removed(std::uint64_t n) {
+    OOSP_ASSERT(n <= current_instances);
     instances_purged += n;
     current_instances -= n;
   }
@@ -83,7 +89,10 @@ struct EngineStats {
     buffered += delta_sign_positive;
     buffered_peak = buffered > buffered_peak ? buffered : buffered_peak;
   }
-  void note_unbuffered(std::uint64_t n) noexcept { buffered -= n; }
+  void note_unbuffered(std::uint64_t n) {
+    OOSP_ASSERT(n <= buffered);
+    buffered -= n;
+  }
   void note_pending_added() noexcept {
     ++pending_matches;
     pending_peak = pending_matches > pending_peak ? pending_matches : pending_peak;

@@ -49,8 +49,12 @@ InOrderEngine::Shard& InOrderEngine::shard_for(const Value& key) {
 
 void InOrderEngine::on_event(const Event& e) {
   ++stats_.events_seen;
+  EngineObs::inc(obs_.events);
   if (!admission_.admit(e)) return;
-  if (clock_.observe(e) > 0) ++stats_.late_events;
+  if (clock_.observe(e) > 0) {
+    ++stats_.late_events;
+    EngineObs::inc(obs_.late);
+  }
   const auto steps = query_.steps_for_type(e.type);
   if (steps.empty()) {
     maybe_purge();
@@ -76,6 +80,7 @@ void InOrderEngine::on_event(const Event& e) {
   }
   maybe_purge();
   stats_.note_footprint(stats_.footprint());
+  EngineObs::set(obs_.footprint, static_cast<std::int64_t>(stats_.footprint()));
 }
 
 void InOrderEngine::process_in_shard(Shard& shard, const Event& e, std::size_t step) {
@@ -89,6 +94,8 @@ void InOrderEngine::process_in_shard(Shard& shard, const Event& e, std::size_t s
   const std::size_t rip = ord == 0 ? 0 : shard.stacks[ord - 1].virtual_end();
   stack.items.push_back(Instance{e, rip});
   stats_.note_instance_added();
+  trace_span(ord == 0 ? TraceKind::kStart : TraceKind::kStep, e.ts, clock_.now(),
+             nullptr, &e);
   if (step == query_.trigger_step()) construct(shard, stack.items.back());
 }
 
@@ -170,6 +177,8 @@ void InOrderEngine::maybe_purge() {
   // so anything below clock − W can never join a future trigger.
   const Timestamp threshold = clock_.now() - query_.window();
   ++stats_.purge_passes;
+  EngineObs::inc(obs_.purge_passes);
+  trace_span(TraceKind::kPurge, threshold, clock_.now());
   if (partitioned_) {
     for (auto it = shards_.begin(); it != shards_.end();) {
       purge(it->second, threshold);
@@ -192,11 +201,17 @@ void InOrderEngine::purge(Shard& shard, Timestamp threshold) {
       ++stack.base;
       ++removed;
     }
-    if (removed) stats_.note_instances_removed(removed);
+    if (removed) {
+      stats_.note_instances_removed(removed);
+      EngineObs::inc(obs_.purged, removed);
+    }
   }
   for (NegativeBuffer& nb : shard.negatives) {
     const std::size_t removed = nb.purge_before(threshold);
-    if (removed) stats_.note_unbuffered(removed);
+    if (removed) {
+      stats_.note_unbuffered(removed);
+      EngineObs::inc(obs_.purged, removed);
+    }
   }
 }
 

@@ -45,8 +45,12 @@ bool NfaEngine::passes_local(std::size_t step, const Event& e) {
 
 void NfaEngine::on_event(const Event& e) {
   ++stats_.events_seen;
+  EngineObs::inc(obs_.events);
   if (!admission_.admit(e)) return;
-  if (clock_.observe(e) > 0) ++stats_.late_events;
+  if (clock_.observe(e) > 0) {
+    ++stats_.late_events;
+    EngineObs::inc(obs_.late);
+  }
   const auto steps = query_.steps_for_type(e.type);
   if (!steps.empty()) {
     ++stats_.events_relevant;
@@ -67,6 +71,7 @@ void NfaEngine::on_event(const Event& e) {
   }
   maybe_purge();
   stats_.note_footprint(stats_.footprint());
+  EngineObs::set(obs_.footprint, static_cast<std::int64_t>(stats_.footprint()));
 }
 
 void NfaEngine::try_extend(std::size_t ordinal, const Event& e) {
@@ -75,6 +80,7 @@ void NfaEngine::try_extend(std::size_t ordinal, const Event& e) {
     Run r;
     r.bound.push_back(e);
     ++stats_.construction_visits;
+    trace_span(TraceKind::kStart, e.ts, clock_.now(), nullptr, &e);
     if (n == 1) {
       complete(r, e);
     } else {
@@ -102,6 +108,7 @@ void NfaEngine::try_extend(std::size_t ordinal, const Event& e) {
       }
     }
     if (ok) {
+      trace_span(TraceKind::kStep, e.ts, clock_.now(), nullptr, &e);
       if (ordinal == n - 1) {
         complete(run, e);
       } else {
@@ -143,17 +150,25 @@ void NfaEngine::maybe_purge() {
   if (!clock_.started()) return;
   const Timestamp threshold = clock_.now() - query_.window();
   ++stats_.purge_passes;
+  EngineObs::inc(obs_.purge_passes);
+  trace_span(TraceKind::kPurge, threshold, clock_.now());
   for (auto& state : runs_) {
     // A run's window is anchored at its first binding; extension order
     // does not preserve first-binding order inside a state, so purge by
     // full sweep rather than front-popping.
     const auto removed = std::erase_if(
         state, [&](const Run& r) { return r.bound.front().ts < threshold; });
-    if (removed) stats_.note_instances_removed(removed);
+    if (removed) {
+      stats_.note_instances_removed(removed);
+      EngineObs::inc(obs_.purged, removed);
+    }
   }
   for (NegativeBuffer& nb : negatives_) {
     const std::size_t removed = nb.purge_before(threshold);
-    if (removed) stats_.note_unbuffered(removed);
+    if (removed) {
+      stats_.note_unbuffered(removed);
+      EngineObs::inc(obs_.purged, removed);
+    }
   }
 }
 

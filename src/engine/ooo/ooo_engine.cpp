@@ -97,9 +97,13 @@ void OooEngine::maybe_grow_slack() {
 
 void OooEngine::on_event(const Event& e) {
   ++stats_.events_seen;
+  EngineObs::inc(obs_.events);
   if (!admission_.admit(e)) return;
   const Timestamp lateness = clock_.observe(e);
-  if (lateness > 0) ++stats_.late_events;
+  if (lateness > 0) {
+    ++stats_.late_events;
+    EngineObs::inc(obs_.late);
+  }
   if (options_.adaptive_slack) {
     estimator_.observe(lateness);
     maybe_grow_slack();
@@ -109,6 +113,7 @@ void OooEngine::on_event(const Event& e) {
     // The effective contract is broken: seal/purge decisions at or above
     // this timestamp are already final. LatePolicy decides its fate.
     ++stats_.contract_violations;
+    EngineObs::inc(obs_.violations);
     if (!admission_.admit_violation(e)) {
       process_pending();
       stats_.note_footprint(stats_.footprint() + admission_.quarantine_size());
@@ -132,6 +137,8 @@ void OooEngine::on_event(const Event& e) {
   process_pending();
   maybe_purge(false);
   stats_.note_footprint(stats_.footprint() + admission_.quarantine_size());
+  EngineObs::set(obs_.footprint, static_cast<std::int64_t>(stats_.footprint()));
+  EngineObs::set(obs_.effective_slack, clock_.slack());
 }
 
 EngineStats OooEngine::stats_snapshot() const {
@@ -146,6 +153,8 @@ void OooEngine::insert_positive(Shard& shard, const Value& key, const Event& e,
   SortedStack& stack = shard.stacks[a];
   const std::size_t idx = stack.insert(e);
   stats_.note_instance_added();
+  trace_span(a == 0 ? TraceKind::kStart : TraceKind::kStep, e.ts, clock_.now(),
+             nullptr, &e);
   if (options_.cache_rip) {
     stack[idx].rip = a == 0 ? 0 : shard.stacks[a - 1].count_ts_below(e.ts);
     if (a + 1 < shard.stacks.size()) {
@@ -265,6 +274,7 @@ void OooEngine::complete_candidate(Shard& shard, const Value& key,
 
   if (checks.empty() || sealed(seal_ts)) {
     m.detection_clock = clock_.now();
+    EngineObs::observe(obs_.latency_wall_us, 0);  // emitted within the arrival call
     emit(std::move(m));
     return;
   }
@@ -274,10 +284,13 @@ void OooEngine::complete_candidate(Shard& shard, const Value& key,
     m.detection_clock = clock_.now();
     unsealed_emitted_.push_back(PendingMatch{m, std::move(checks), seal_ts, key});
     stats_.note_pending_added();
+    EngineObs::observe(obs_.latency_wall_us, 0);
     emit(std::move(m));
     return;
   }
-  pending_.push(PendingMatch{std::move(m), std::move(checks), seal_ts, key});
+  PendingMatch pm{std::move(m), std::move(checks), seal_ts, key};
+  if (obs_.enabled()) pm.held_since = std::chrono::steady_clock::now();
+  pending_.push(std::move(pm));
   stats_.note_pending_added();
 }
 
@@ -306,8 +319,10 @@ void OooEngine::handle_late_negative(const Value& key, const Event& e,
       }
     }
     if (retract) {
+      trace_span(TraceKind::kRetract, pm.match.last_ts(), clock_.now(), &pm.match, &e);
       sink_.on_retract(unsealed_emitted_[i].match);
       ++stats_.matches_retracted;
+      EngineObs::inc(obs_.retractions);
       --stats_.pending_matches;
       unsealed_emitted_[i] = std::move(unsealed_emitted_.back());
       unsealed_emitted_.pop_back();
@@ -336,13 +351,18 @@ void OooEngine::process_pending() {
   if (!unsealed_emitted_.empty() && clock_.started()) {
     // Sealed entries are final — no retraction can reach them anymore.
     const auto removed = std::erase_if(unsealed_emitted_, [&](const PendingMatch& pm) {
-      return sealed(pm.seal_ts);
+      if (!sealed(pm.seal_ts)) return false;
+      trace_span(TraceKind::kSeal, pm.match.last_ts(), clock_.now(), &pm.match);
+      return true;
     });
     stats_.pending_matches -= removed;
+    EngineObs::inc(obs_.seals, removed);
   }
 }
 
 void OooEngine::resolve_pending(PendingMatch&& pm) {
+  trace_span(TraceKind::kSeal, pm.match.last_ts(), clock_.now(), &pm.match);
+  EngineObs::inc(obs_.seals);
   Shard* shard = find_shard(pm.shard_key);
   if (shard != nullptr) {
     // Rebuild the positive bindings for negation-predicate evaluation.
@@ -351,8 +371,15 @@ void OooEngine::resolve_pending(PendingMatch&& pm) {
       bindings[step_of_positive_[k]] = &pm.match.events[k];
     if (violated_now(*shard, pm.checks, bindings)) {
       ++stats_.matches_cancelled;
+      EngineObs::inc(obs_.cancels);
+      trace_span(TraceKind::kCancel, pm.match.last_ts(), clock_.now(), &pm.match);
       return;
     }
+  }
+  if (obs_.latency_wall_us != nullptr) {
+    const auto waited = std::chrono::steady_clock::now() - pm.held_since;
+    obs_.latency_wall_us->observe_signed(
+        std::chrono::duration_cast<std::chrono::microseconds>(waited).count());
   }
   pm.match.detection_clock = clock_.now();
   emit(std::move(pm.match));
@@ -408,6 +435,8 @@ void OooEngine::maybe_purge(bool force) {
           : seal_watermark_ - query_.window() + 1;
   const Timestamp neg_threshold = pos_threshold - 1;
   ++stats_.purge_passes;
+  EngineObs::inc(obs_.purge_passes);
+  trace_span(TraceKind::kPurge, pos_threshold, clock_.now());
   if (partitioned_) {
     for (auto it = shards_.begin(); it != shards_.end();) {
       purge_shard(it->second, pos_threshold, neg_threshold);
@@ -428,7 +457,10 @@ void OooEngine::purge_shard(Shard& shard, Timestamp pos_threshold,
   std::size_t removed_prev = 0;
   for (std::size_t k = 0; k < shard.stacks.size(); ++k) {
     const std::size_t removed = shard.stacks[k].purge_before(pos_threshold);
-    if (removed) stats_.note_instances_removed(removed);
+    if (removed) {
+      stats_.note_instances_removed(removed);
+      EngineObs::inc(obs_.purged, removed);
+    }
     // Fix survivors' RIPs after the previous stack shrank. Doing this
     // after this stack's own purge matters: a purged instance here may
     // have had ts below some purged predecessors and thus a smaller rip.
@@ -437,7 +469,10 @@ void OooEngine::purge_shard(Shard& shard, Timestamp pos_threshold,
   }
   for (NegativeBuffer& nb : shard.negatives) {
     const std::size_t removed = nb.purge_before(neg_threshold);
-    if (removed) stats_.note_unbuffered(removed);
+    if (removed) {
+      stats_.note_unbuffered(removed);
+      EngineObs::inc(obs_.purged, removed);
+    }
   }
 }
 

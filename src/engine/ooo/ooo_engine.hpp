@@ -44,6 +44,7 @@
 // slack_estimator, dedup_by_id, registry (schema validation).
 #pragma once
 
+#include <chrono>
 #include <optional>
 #include <queue>
 #include <unordered_map>
@@ -88,6 +89,11 @@ class OooEngine final : public PatternEngine {
     std::vector<NegCheck> checks;
     Timestamp seal_ts;  // max interval end; final once clock >= seal_ts + K
     Value shard_key;    // meaningful only when partitioned
+    // Wall clock at candidate completion; the wall-time detection-latency
+    // histogram charges the sealing wait against it. Only captured when
+    // metrics are enabled (a steady_clock read per HELD candidate, never
+    // per event).
+    std::chrono::steady_clock::time_point held_since{};
   };
   struct PendingLater {
     bool operator()(const PendingMatch& a, const PendingMatch& b) const noexcept {

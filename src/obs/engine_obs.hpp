@@ -1,0 +1,102 @@
+// Per-engine instrument bundle: the canonical metric families every
+// engine reports into, created once per engine instance (one sharded
+// slot each — see metrics.hpp).
+//
+// Split mirrors EngineStats ownership inside wrapper engines: ARRIVAL
+// instruments (events/late/violations) belong to whichever engine owns
+// admission — the K-slack wrapper, not its inner engine — while
+// EMISSION/state instruments belong to the engine that actually emits
+// and purges. EngineOptions::obs_arrival_side carries that split, so the
+// aggregate never double-counts an event and scrape totals match
+// EngineStats::operator+= over stats_snapshot().
+//
+// All helpers are null-safe: with metrics disabled every pointer is null
+// and the hot path pays one predicted branch per call site.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace oosp {
+
+struct EngineObs {
+  // Arrival side (admission owner only).
+  Counter* events = nullptr;
+  Counter* late = nullptr;
+  Counter* violations = nullptr;
+  // Emission / state side (every engine).
+  Counter* matches = nullptr;
+  Counter* retractions = nullptr;
+  Counter* cancels = nullptr;
+  Counter* seals = nullptr;
+  Counter* purge_passes = nullptr;
+  Counter* purged = nullptr;
+  Gauge* footprint = nullptr;
+  Gauge* effective_slack = nullptr;
+  Histogram* latency_stream = nullptr;
+  Histogram* latency_wall_us = nullptr;
+  // Reorder buffer (K-slack wrapper only).
+  Counter* releases = nullptr;
+  Gauge* reorder_depth = nullptr;
+
+  bool enabled() const noexcept { return matches != nullptr; }
+
+  static EngineObs create(MetricsRegistry* reg, bool arrival_side) {
+    EngineObs o;
+    if (reg == nullptr) return o;
+    if (arrival_side) {
+      o.events = reg->counter("oosp_engine_events_total",
+                              "events delivered to engine on_event");
+      o.late = reg->counter("oosp_engine_late_events_total",
+                            "events that arrived out of timestamp order");
+      o.violations = reg->counter("oosp_engine_contract_violations_total",
+                                  "events later than the effective K-slack bound");
+    }
+    o.matches = reg->counter("oosp_engine_matches_total", "matches emitted");
+    o.retractions = reg->counter("oosp_engine_retractions_total",
+                                 "emitted matches revoked (aggressive negation)");
+    o.cancels = reg->counter("oosp_engine_match_cancels_total",
+                             "sealed candidates killed by a buffered negative");
+    o.seals = reg->counter("oosp_engine_match_seals_total",
+                           "candidate matches whose negation horizon sealed");
+    o.purge_passes =
+        reg->counter("oosp_engine_purge_passes_total", "K-slack purge passes");
+    o.purged = reg->counter("oosp_engine_purged_entries_total",
+                            "instances and buffered events reclaimed by purging");
+    o.footprint = reg->gauge("oosp_engine_footprint", GaugeAgg::kSum,
+                             "live state now: instances + buffers + pending");
+    o.effective_slack =
+        reg->gauge("oosp_engine_effective_slack", GaugeAgg::kMax,
+                   "effective K the engine currently trusts (max across shards)");
+    o.latency_stream = reg->histogram(
+        "oosp_engine_detection_latency_stream",
+        "per-match detection delay in stream time (clock - match last ts)");
+    o.latency_wall_us = reg->histogram(
+        "oosp_engine_detection_latency_wall_us",
+        "per-match wall-clock delay from candidate completion to emission");
+    return o;
+  }
+
+  // Reorder-buffer instruments, registered by the K-slack wrapper on top
+  // of its arrival-side bundle.
+  void add_reorder_buffer(MetricsRegistry* reg) {
+    if (reg == nullptr) return;
+    releases = reg->counter("oosp_kslack_releases_total",
+                            "events released from the reorder buffer in ts order");
+    reorder_depth = reg->gauge("oosp_kslack_reorder_depth", GaugeAgg::kSum,
+                               "events currently held in the reorder buffer");
+  }
+
+  static void inc(Counter* c, std::uint64_t n = 1) noexcept {
+    if (c != nullptr) c->inc(n);
+  }
+  static void set(Gauge* g, std::int64_t v) noexcept {
+    if (g != nullptr) g->set(v);
+  }
+  static void observe(Histogram* h, std::int64_t v) noexcept {
+    if (h != nullptr) h->observe_signed(v);
+  }
+};
+
+}  // namespace oosp

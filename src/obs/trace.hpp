@@ -1,0 +1,130 @@
+// Trace hooks: qualitative observability — reconstruct a match's
+// lifecycle event by event.
+//
+// Engines fire span events at the decision points of a match's life:
+//
+//   kStart    an event opened a new partial match (first positive step)
+//   kStep     an event extended / spliced into partial-match state
+//   kSeal     a candidate's negation horizon sealed — its fate is final
+//   kEmit     a match was delivered to the sink
+//   kCancel   a sealed candidate was killed by a buffered negative
+//   kRetract  an emitted match was revoked (aggressive negation only)
+//   kPurge    a K-slack purge pass ran (ts = the purge horizon)
+//
+// The hook is a bare function pointer + context — one predicted branch
+// when unset, no std::function allocation, no virtual dispatch — cheap
+// enough to leave compiled into release builds. Pointers inside a
+// TraceSpan are valid ONLY for the duration of the callback; copy what
+// you need. Hooks run on the thread driving the engine (a shard worker
+// under the sharded runtime), so a shared recorder must synchronize.
+//
+// A hook that THROWS aborts the engine mid-event; under the sharded
+// runtime the worker records the exception and the Session surfaces it
+// (see runtime/sharded.hpp) — the fault-injection tests use exactly this
+// to kill workers deterministically.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "engine/core/match.hpp"
+#include "event/event.hpp"
+
+namespace oosp {
+
+enum class TraceKind : std::uint8_t {
+  kStart,
+  kStep,
+  kSeal,
+  kEmit,
+  kCancel,
+  kRetract,
+  kPurge,
+};
+
+inline std::string_view to_string(TraceKind k) noexcept {
+  switch (k) {
+    case TraceKind::kStart: return "start";
+    case TraceKind::kStep: return "step";
+    case TraceKind::kSeal: return "seal";
+    case TraceKind::kEmit: return "emit";
+    case TraceKind::kCancel: return "cancel";
+    case TraceKind::kRetract: return "retract";
+    case TraceKind::kPurge: return "purge";
+  }
+  return "?";
+}
+
+struct TraceSpan {
+  TraceKind kind;
+  Timestamp ts;        // subject timestamp: event ts, match last_ts, purge horizon
+  Timestamp clock;     // engine stream clock when the span fired
+  const Match* match;  // match-level spans; null otherwise; valid during the call
+  const Event* event;  // event-level spans; null otherwise; valid during the call
+};
+
+struct TraceHook {
+  using Fn = void (*)(void* ctx, const TraceSpan& span);
+  Fn fn = nullptr;
+  void* ctx = nullptr;
+
+  explicit operator bool() const noexcept { return fn != nullptr; }
+  void operator()(const TraceSpan& span) const { fn(ctx, span); }
+};
+
+// Records every span (identity copied out, pointers not retained), in
+// firing order. Thread-safe so one recorder can serve a sharded run;
+// per-engine ordering is preserved, cross-shard interleaving is not
+// meaningful.
+class TraceRecorder {
+ public:
+  struct Entry {
+    TraceKind kind;
+    Timestamp ts;
+    Timestamp clock;
+    // Event-level spans: the event's id. Match-level spans: the id of the
+    // match's last bound event. kNone when neither applies (kPurge).
+    static constexpr std::uint64_t kNone = ~std::uint64_t{0};
+    std::uint64_t subject_id = kNone;
+  };
+
+  TraceHook hook() noexcept { return TraceHook{&TraceRecorder::thunk, this}; }
+
+  std::vector<Entry> entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_;
+  }
+  std::vector<TraceKind> kinds() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<TraceKind> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(e.kind);
+    return out;
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+
+ private:
+  static void thunk(void* self, const TraceSpan& span) {
+    static_cast<TraceRecorder*>(self)->record(span);
+  }
+  void record(const TraceSpan& span) {
+    Entry e{span.kind, span.ts, span.clock, Entry::kNone};
+    if (span.event != nullptr) {
+      e.subject_id = span.event->id;
+    } else if (span.match != nullptr && !span.match->events.empty()) {
+      e.subject_id = span.match->events.back().id;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back(e);
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace oosp

@@ -1,6 +1,7 @@
 #include "runtime/session.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -13,12 +14,20 @@ Session::Session(const TypeRegistry& registry, SessionConfig config,
   OOSP_REQUIRE(sink_ != nullptr, "Session sink is null");
   OOSP_REQUIRE(!config.declarations_.empty(), "Session has no queries");
 
+  if (config.metrics_) {
+    metrics_ = std::make_unique<MetricsRegistry>();
+    session_events_ = metrics_->counter("oosp_session_events_total");
+  }
+
   specs_.reserve(config.declarations_.size());
   for (SessionConfig::QueryDecl& decl : config.declarations_) {
     ShardQuerySpec spec;
     spec.query = compile_query_shared(decl.text, registry_);
     spec.kind = decl.kind.value_or(config.default_kind_);
     spec.options = decl.options.value_or(config.default_options_);
+    // Every engine (one per query per shard) registers its own slots;
+    // the snapshot aggregates them back into one view.
+    spec.options.metrics = metrics_.get();
     specs_.push_back(std::move(spec));
   }
 
@@ -30,8 +39,9 @@ Session::Session(const TypeRegistry& registry, SessionConfig config,
   }
 
   if (shards > 1) {
-    sharded_runner_ = std::make_unique<ShardedRunner>(
-        registry_, specs_, shards, *partition, config.queue_capacity_);
+    sharded_runner_ =
+        std::make_unique<ShardedRunner>(registry_, specs_, shards, *partition,
+                                        config.queue_capacity_, metrics_.get());
   } else {
     // Single-shard path collects into the same kind of sink a shard
     // uses, so finish() runs the identical canonical-order delivery.
@@ -40,13 +50,17 @@ Session::Session(const TypeRegistry& registry, SessionConfig config,
     for (const ShardQuerySpec& spec : specs_)
       inline_runner_->add_query(spec.query, spec.kind, spec.options);
   }
+
+  if (config.report_every_.count() > 0)
+    start_reporter(config.report_every_, std::move(config.report_to_));
 }
 
-Session::~Session() = default;
+Session::~Session() { stop_reporter(); }
 
 void Session::on_event(const Event& e) {
   OOSP_REQUIRE(!finished_, "on_event after finish");
   ++events_seen_;
+  if (session_events_) session_events_->inc();
   if (sharded_runner_) {
     sharded_runner_->on_event(e);
   } else {
@@ -94,6 +108,54 @@ EngineStats Session::total_stats() const {
 
 std::size_t Session::shard_count() const noexcept {
   return sharded_runner_ ? sharded_runner_->shard_count() : 1;
+}
+
+void Session::close() {
+  stop_reporter();
+  finish();
+}
+
+MetricsSnapshot Session::metrics_snapshot() const {
+  OOSP_CHECK(metrics_ != nullptr, "metrics disabled for this session");
+  return metrics_->snapshot();
+}
+
+std::string Session::metrics_text() const {
+  OOSP_CHECK(metrics_ != nullptr, "metrics disabled for this session");
+  return metrics_->scrape_text();
+}
+
+void Session::start_reporter(std::chrono::milliseconds interval,
+                             std::function<void(const std::string&)> fn) {
+  OOSP_CHECK(metrics_ != nullptr, "reporter requires metrics");
+  if (!fn) {
+    fn = [](const std::string& text) {
+      std::fputs(text.c_str(), stderr);
+      std::fflush(stderr);
+    };
+  }
+  reporter_ = std::thread([this, interval, fn = std::move(fn)] {
+    std::unique_lock<std::mutex> lock(reporter_mu_);
+    for (;;) {
+      if (reporter_cv_.wait_for(lock, interval, [this] { return reporter_stop_; }))
+        return;
+      // Scrape without the lock: a close() racing the scrape should not
+      // wait behind registry aggregation.
+      lock.unlock();
+      fn(metrics_->scrape_text());
+      lock.lock();
+    }
+  });
+}
+
+void Session::stop_reporter() {
+  if (!reporter_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(reporter_mu_);
+    reporter_stop_ = true;
+  }
+  reporter_cv_.notify_all();
+  reporter_.join();
 }
 
 }  // namespace oosp

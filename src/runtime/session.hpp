@@ -40,11 +40,32 @@
 // match can seal, so no exact streaming merge exists. Callers that want
 // raw streaming (and accept emission order) can still drive a
 // single MultiQueryRunner or engine directly.
+// ## Observability
+//
+// Every Session owns a MetricsRegistry (disable with `.metrics(false)`)
+// that is injected into each engine and the shard router before
+// construction. `metrics_snapshot()` aggregates the per-engine /
+// per-shard slots at any time — including mid-run, the slots are
+// lock-free relaxed atomics — and `metrics_text()` renders the
+// Prometheus-style text exposition. `.report_every(interval)` starts a
+// background reporter thread that periodically hands the exposition to
+// `.report_to(fn)` (stderr by default). `.trace(hook)` installs a
+// TraceHook on every engine for span-level lifecycle events.
+//
+// `close()` = stop the reporter + finish(). In sharded mode a worker
+// that died on an exception surfaces that exception from close() /
+// finish() (and from on_event() when its queue backs up) instead of
+// hanging the producer.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/sharded.hpp"
@@ -73,6 +94,32 @@ class SessionConfig {
   }
   SessionConfig& late_policy(LatePolicy policy) {
     default_options_.late_policy = policy;
+    return *this;
+  }
+  // Enable/disable the session-owned MetricsRegistry (default: enabled).
+  // Disabled, every instrument pointer is null and the hot path pays a
+  // single predictable branch per site.
+  SessionConfig& metrics(bool enabled) {
+    metrics_ = enabled;
+    return *this;
+  }
+  // Trace hook installed on every engine (see obs/trace.hpp). The hook
+  // runs on whichever thread owns the engine — a shard worker in sharded
+  // mode — and must be thread-safe if shards > 1.
+  SessionConfig& trace(TraceHook hook) {
+    default_options_.trace = hook;
+    return *this;
+  }
+  // Start a background reporter that renders the metrics exposition
+  // every `interval` (0 = off, the default) and passes it to the
+  // report_to() callback (stderr when unset). Implies metrics(true).
+  SessionConfig& report_every(std::chrono::milliseconds interval) {
+    report_every_ = interval;
+    if (interval.count() > 0) metrics_ = true;
+    return *this;
+  }
+  SessionConfig& report_to(std::function<void(const std::string&)> fn) {
+    report_to_ = std::move(fn);
     return *this;
   }
 
@@ -114,6 +161,9 @@ class SessionConfig {
   EngineOptions default_options_;
   std::size_t shards_ = 1;
   std::size_t queue_capacity_ = 64 * 1024;
+  bool metrics_ = true;
+  std::chrono::milliseconds report_every_{0};
+  std::function<void(const std::string&)> report_to_;
   std::vector<QueryDecl> declarations_;
 };
 
@@ -134,7 +184,14 @@ class Session {
 
   // End of stream: flushes the engines (joining shard workers) and
   // delivers all matches to the sink in canonical order. Idempotent.
+  // Rethrows a dead shard worker's exception (after every thread has
+  // been joined); a repeat call is then a no-op.
   void finish();
+
+  // Orderly shutdown: stops the periodic reporter, then finish().
+  // Idempotent; the place a sharded worker's failure surfaces if the
+  // producer never tripped over it in on_event().
+  void close();
 
   std::size_t query_count() const noexcept;
   const CompiledQuery& query(QueryId id) const;
@@ -154,13 +211,34 @@ class Session {
 
   std::uint64_t events_seen() const noexcept { return events_seen_; }
 
+  // Observability. The registry outlives every engine (Session member
+  // order); snapshot/text may be called at any time, including mid-run.
+  bool metrics_enabled() const noexcept { return metrics_ != nullptr; }
+  MetricsRegistry* metrics() noexcept { return metrics_.get(); }
+  MetricsSnapshot metrics_snapshot() const;
+  std::string metrics_text() const;
+
  private:
+  void start_reporter(std::chrono::milliseconds interval,
+                      std::function<void(const std::string&)> fn);
+  void stop_reporter();
   const TypeRegistry& registry_;
   std::shared_ptr<TaggedSink> sink_;
+  // Declared before the runners: engines hold raw slot pointers into the
+  // registry, so it must be destroyed after them.
+  std::unique_ptr<MetricsRegistry> metrics_;
+  Counter* session_events_ = nullptr;
   std::vector<ShardQuerySpec> specs_;
   std::string fallback_reason_;
   bool finished_ = false;
   std::uint64_t events_seen_ = 0;
+
+  // Periodic reporter (optional). cv-based stop so close() never waits a
+  // full interval.
+  std::thread reporter_;
+  std::mutex reporter_mu_;
+  std::condition_variable reporter_cv_;
+  bool reporter_stop_ = false;
 
   // Exactly one of the two is set: single-shard runs use an inline
   // runner collecting into collect_, sharded runs use the ShardedRunner.

@@ -69,9 +69,15 @@ std::vector<TaggedMatch> merge_match_streams(
 
 ShardedRunner::ShardedRunner(const TypeRegistry& registry,
                              std::vector<ShardQuerySpec> specs, std::size_t num_shards,
-                             PartitionSpec partition, std::size_t queue_capacity)
+                             PartitionSpec partition, std::size_t queue_capacity,
+                             MetricsRegistry* metrics)
     : registry_(registry), specs_(std::move(specs)), partition_(partition) {
   OOSP_REQUIRE(num_shards >= 1, "ShardedRunner needs at least one shard");
+  if (metrics) {
+    push_retries_ = metrics->counter("oosp_shard_push_retries_total");
+    worker_failures_ = metrics->counter("oosp_shard_worker_failures_total");
+    broadcasts_ = metrics->counter("oosp_shard_broadcasts_total");
+  }
   shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
@@ -80,6 +86,12 @@ ShardedRunner::ShardedRunner(const TypeRegistry& registry,
     shard->runner = std::make_unique<MultiQueryRunner>(registry_, shard->sink);
     for (const ShardQuerySpec& spec : specs_)
       shard->runner->add_query(spec.query, spec.kind, spec.options);
+    if (metrics) {
+      shard->queue_depth = metrics->gauge("oosp_shard_queue_depth", GaugeAgg::kMax);
+      shard->watermark_lag = metrics->gauge("oosp_shard_watermark_lag", GaugeAgg::kMax);
+      shard->merge_occupancy =
+          metrics->gauge("oosp_shard_merge_occupancy", GaugeAgg::kSum);
+    }
     shards_.push_back(std::move(shard));
   }
   // Start the workers only after every runner is fully built; the thread
@@ -97,34 +109,74 @@ ShardedRunner::~ShardedRunner() {
 }
 
 void ShardedRunner::worker_loop(Shard& shard) {
-  Event e;
-  for (;;) {
-    if (shard.queue->try_pop(e)) {
-      shard.runner->on_event(e);
-      continue;
+  try {
+    Event e;
+    for (;;) {
+      if (shard.queue->try_pop(e)) {
+        if (shard.watermark_lag) {
+          // How far this shard trails the stream: the newest timestamp the
+          // producer has routed anywhere minus the one being consumed now.
+          const Timestamp newest = global_clock_.load(std::memory_order_relaxed);
+          if (newest != kMinTimestamp && newest > e.ts)
+            shard.watermark_lag->set(newest - e.ts);
+          shard.queue_depth->set(
+              static_cast<std::int64_t>(shard.queue->size_approx()));
+        }
+        shard.runner->on_event(e);
+        if (shard.merge_occupancy)
+          shard.merge_occupancy->set(
+              static_cast<std::int64_t>(shard.sink->matches().size()));
+        continue;
+      }
+      if (shard.stop.load(std::memory_order_acquire) && shard.queue->empty()) break;
+      std::this_thread::yield();
     }
-    if (shard.stop.load(std::memory_order_acquire) && shard.queue->empty()) break;
-    std::this_thread::yield();
+    shard.runner->finish();
+    shard.final_stats.reserve(shard.runner->query_count());
+    for (QueryId q = 0; q < shard.runner->query_count(); ++q)
+      shard.final_stats.push_back(shard.runner->stats(q));
+  } catch (...) {
+    // Publish the failure before the liveness flag: the producer only
+    // reads `error` after an acquire load sees dead == true.
+    shard.error = std::current_exception();
+    if (worker_failures_) worker_failures_->inc();
+    shard.dead.store(true, std::memory_order_release);
   }
-  shard.runner->finish();
-  shard.final_stats.reserve(shard.runner->query_count());
-  for (QueryId q = 0; q < shard.runner->query_count(); ++q)
-    shard.final_stats.push_back(shard.runner->stats(q));
+}
+
+void ShardedRunner::rethrow_worker_error(const Shard& shard) {
+  OOSP_CHECK(shard.error != nullptr, "dead shard without a stored exception");
+  // Each failure surfaces exactly once: whichever of on_event / finish
+  // trips over it first throws; a later finish() is orderly teardown.
+  error_surfaced_ = true;
+  std::rethrow_exception(shard.error);
 }
 
 void ShardedRunner::push_blocking(Shard& shard, Event e) {
-  while (!shard.queue->try_push(std::move(e))) std::this_thread::yield();
+  // Fail fast on a dead worker even when its queue still has room — the
+  // events would never be consumed anyway.
+  if (shard.dead.load(std::memory_order_acquire)) rethrow_worker_error(shard);
+  while (!shard.queue->try_push(std::move(e))) {
+    // A dead worker will never drain this queue; surface its exception to
+    // the producer instead of spinning forever.
+    if (shard.dead.load(std::memory_order_acquire)) rethrow_worker_error(shard);
+    if (push_retries_) push_retries_->inc();
+    std::this_thread::yield();
+  }
 }
 
 void ShardedRunner::on_event(const Event& e) {
   OOSP_REQUIRE(!finished_, "on_event after finish");
   ++events_seen_;
+  if (e.ts > global_clock_.load(std::memory_order_relaxed))
+    global_clock_.store(e.ts, std::memory_order_relaxed);
   const std::size_t slot = partition_.slot_for(e.type);
   if (slot == PartitionSpec::kTickOnly || slot >= e.attrs.size()) {
     // Relevant to no query (pure clock progress) — every shard needs it.
     // A keyed type whose event is missing the key attribute (malformed
     // input) also lands here: broadcast is harmless because schema
     // validation rejects it inside each engine before it touches state.
+    if (broadcasts_) broadcasts_->inc();
     for (auto& shard : shards_) push_blocking(*shard, e);
     return;
   }
@@ -138,6 +190,20 @@ void ShardedRunner::finish() {
   for (auto& shard : shards_) shard->stop.store(true, std::memory_order_release);
   for (auto& shard : shards_)
     if (shard->worker.joinable()) shard->worker.join();
+  // All threads are gone; surface the first failure (deterministically by
+  // shard index) now that the runner is safe to destroy — unless the
+  // producer already took it from a push. finished_ was set first, so a
+  // retry does not re-join or re-throw — accessors below still work for
+  // the surviving shards.
+  if (error_surfaced_) return;
+  for (auto& shard : shards_)
+    if (shard->dead.load(std::memory_order_acquire)) rethrow_worker_error(*shard);
+}
+
+bool ShardedRunner::worker_failed() const noexcept {
+  for (const auto& shard : shards_)
+    if (shard->dead.load(std::memory_order_acquire)) return true;
+  return false;
 }
 
 std::vector<TaggedMatch> ShardedRunner::take_output() {
@@ -159,7 +225,13 @@ std::vector<TaggedMatch> ShardedRunner::take_retractions() {
 EngineStats ShardedRunner::stats(QueryId id) const {
   OOSP_CHECK(finished_, "stats before finish (workers still own the engines)");
   EngineStats merged;
-  for (const auto& shard : shards_) merged += shard->final_stats.at(id);
+  for (const auto& shard : shards_) {
+    // A shard whose worker died never recorded final stats; its partial
+    // counters are unreadable (the engines may be mid-mutation), so the
+    // merge covers the surviving shards only.
+    if (shard->final_stats.empty()) continue;
+    merged += shard->final_stats.at(id);
+  }
   return merged;
 }
 

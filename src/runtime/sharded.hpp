@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/spsc_queue.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/multi_query.hpp"
 
 namespace oosp {
@@ -89,22 +90,30 @@ std::vector<TaggedMatch> merge_match_streams(std::vector<std::vector<TaggedMatch
 
 class ShardedRunner {
  public:
-  // `registry` must outlive the runner. Engines are constructed in the
-  // calling thread; workers start immediately and wait on their queues.
+  // `registry` must outlive the runner (and `metrics`, when given).
+  // Engines are constructed in the calling thread; workers start
+  // immediately and wait on their queues.
   ShardedRunner(const TypeRegistry& registry, std::vector<ShardQuerySpec> specs,
                 std::size_t num_shards, PartitionSpec partition,
-                std::size_t queue_capacity = 64 * 1024);
+                std::size_t queue_capacity = 64 * 1024,
+                MetricsRegistry* metrics = nullptr);
   ~ShardedRunner();
 
   ShardedRunner(const ShardedRunner&) = delete;
   ShardedRunner& operator=(const ShardedRunner&) = delete;
 
   // Producer side; single-threaded. Blocks (yielding) while the target
-  // shard's queue is full — backpressure preserves arrival order.
+  // shard's queue is full — backpressure preserves arrival order. If the
+  // target worker has died (its engine threw), rethrows that worker's
+  // exception instead of spinning on a queue nobody will ever drain.
   void on_event(const Event& e);
 
   // Drains the queues, joins the workers, runs per-shard finish().
-  // Idempotent. After it returns, the accessors below are valid.
+  // Idempotent. After it returns, the accessors below are valid. If any
+  // worker died on an exception, the first shard's error (by shard
+  // index) is rethrown here — after every thread has been joined, so
+  // the runner is still destructible and the survivors' results remain
+  // readable.
   void finish();
 
   // Merged matches / retractions in canonical order. Call once each.
@@ -120,6 +129,9 @@ class ShardedRunner {
   std::uint64_t events_seen() const noexcept { return events_seen_; }
   std::uint64_t events_routed() const;  // after finish()
 
+  // True once any worker has died on an exception (before finish()).
+  bool worker_failed() const noexcept;
+
  private:
   struct Shard {
     std::unique_ptr<SpscQueue<Event>> queue;
@@ -127,13 +139,25 @@ class ShardedRunner {
     std::unique_ptr<MultiQueryRunner> runner;
     std::thread worker;
     std::atomic<bool> stop{false};
+    // Liveness: set (release) by the worker when its loop dies on an
+    // exception; the producer's backpressure spin and finish() check it
+    // (acquire) and rethrow `error` instead of waiting forever on a
+    // queue nobody will drain. `error` is written before the release
+    // store and only read after an acquire load observes dead == true.
+    std::atomic<bool> dead{false};
+    std::exception_ptr error;
     // Written by the worker after its final finish(), read by the
     // producer after join() — the join is the synchronization point.
     std::vector<EngineStats> final_stats;
+    // Per-shard observability slots (null when metrics are disabled).
+    Gauge* queue_depth = nullptr;      // ingress occupancy, scrape keeps max
+    Gauge* watermark_lag = nullptr;    // global clock − event ts at dequeue
+    Gauge* merge_occupancy = nullptr;  // matches parked awaiting the merge
   };
 
   void worker_loop(Shard& shard);
   void push_blocking(Shard& shard, Event e);
+  [[noreturn]] void rethrow_worker_error(const Shard& shard);
 
   const TypeRegistry& registry_;
   std::vector<ShardQuerySpec> specs_;
@@ -141,7 +165,18 @@ class ShardedRunner {
   std::vector<std::unique_ptr<Shard>> shards_;
   ValueHasher hasher_;
   bool finished_ = false;
+  // A dead worker's exception has already been rethrown to the caller
+  // (from a push or from finish); finish() then stays quiet so teardown
+  // after a caught failure is orderly. Producer-thread only.
+  bool error_surfaced_ = false;
   std::uint64_t events_seen_ = 0;
+  // Producer-maintained high-water mark of routed event timestamps; the
+  // workers read it (relaxed) to report how far each lags the stream.
+  std::atomic<Timestamp> global_clock_{kMinTimestamp};
+  // Runner-level observability slots (null when metrics are disabled).
+  Counter* push_retries_ = nullptr;     // producer spins on a full queue
+  Counter* worker_failures_ = nullptr;  // workers killed by an exception
+  Counter* broadcasts_ = nullptr;       // tick-only events sent to every shard
 };
 
 }  // namespace oosp
