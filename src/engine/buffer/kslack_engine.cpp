@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace oosp {
 
@@ -94,6 +95,37 @@ void KSlackEngine::finish() {
   }
   inner_->finish();
   EngineObs::set(obs_.reorder_depth, 0);
+}
+
+void KSlackEngine::snapshot(CheckpointWriter& w) const {
+  write_engine_guard(w, name(), query_.text());
+  w.stats(stats_);
+  write_clock(w, clock_);
+  write_estimator(w, estimator_);
+  write_admission(w, admission_);
+  w.i64(release_watermark_);
+  // Draining a copy of the priority queue yields the canonical (ts, id)
+  // ascending order — deterministic because the comparator is total.
+  auto heap = buffer_;
+  w.u64(heap.size());
+  while (!heap.empty()) {
+    w.event(heap.top());
+    heap.pop();
+  }
+  inner_->snapshot(w);
+}
+
+void KSlackEngine::restore(CheckpointReader& r) {
+  read_engine_guard(r, name(), query_.text());
+  stats_ = r.stats();
+  read_clock(r, clock_);
+  read_estimator(r, estimator_);
+  read_admission(r, admission_);
+  release_watermark_ = r.i64();
+  buffer_ = {};
+  const std::size_t n = r.count(8);
+  for (std::size_t i = 0; i < n; ++i) buffer_.push(r.event());
+  inner_->restore(r);
 }
 
 EngineStats KSlackEngine::stats_snapshot() const {

@@ -51,6 +51,10 @@ class KSlackEngine final : public PatternEngine {
   std::vector<Event> drain_quarantine() override {
     return admission_.drain_quarantine();
   }
+  // Recursive: serializes the wrapper's buffer/clock state plus the inner
+  // engine's own snapshot in the same frame.
+  void snapshot(CheckpointWriter& w) const override;
+  void restore(CheckpointReader& r) override;
 
  private:
   // Re-stamps detection_clock with the OUTER clock: the inner engine's

@@ -41,6 +41,15 @@ class AdmissionControl {
   std::vector<Event> drain_quarantine();
   std::size_t quarantine_size() const noexcept { return quarantine_.size(); }
 
+  // Checkpoint support (runtime/checkpoint.hpp). seen_ids() is unordered;
+  // serializers must sort before writing for byte determinism.
+  const std::unordered_set<EventId>& seen_ids() const noexcept { return seen_ids_; }
+  const std::deque<Event>& quarantined_events() const noexcept { return quarantine_; }
+  void restore_state(std::unordered_set<EventId> seen_ids, std::deque<Event> quarantine) {
+    seen_ids_ = std::move(seen_ids);
+    quarantine_ = std::move(quarantine);
+  }
+
  private:
   bool schema_ok(const Event& e) const;
 

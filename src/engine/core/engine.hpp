@@ -21,6 +21,9 @@
 
 namespace oosp {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 // What to do with an event that arrives later than the engine's safe
 // horizon (lateness beyond the effective K): state it needs may already
 // be purged and results it touches may already be sealed, so it cannot
@@ -154,6 +157,20 @@ class PatternEngine {
   virtual void finish() {}
 
   virtual std::string name() const = 0;
+
+  // Crash-recovery serialization (runtime/checkpoint.hpp). snapshot()
+  // writes every piece of dynamic state — partial-match structures,
+  // reorder/negation buffers, admission state, clocks, stats — such that
+  // restore() into a FRESHLY CONSTRUCTED engine with the same query and
+  // options reproduces the original engine exactly: feeding both the
+  // same suffix yields the same matches and the same stats. restore()
+  // validates a guard header (engine name + query text) and throws
+  // CheckpointError on any mismatch or corruption; on throw the target
+  // engine must only be destroyed, not used. Serializers must emit
+  // deterministic bytes for equal logical state (sort unordered
+  // containers) so a restored engine re-snapshots byte-identically.
+  virtual void snapshot(CheckpointWriter& w) const;
+  virtual void restore(CheckpointReader& r);
 
   // Removes and returns the events parked by LatePolicy::kQuarantine, in
   // arrival order — audit them or replay into a fresh engine with a

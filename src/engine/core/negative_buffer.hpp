@@ -36,6 +36,11 @@ class NegativeBuffer {
   std::size_t size() const noexcept { return events_.size(); }
   std::size_t step() const noexcept { return step_; }
 
+  // Checkpoint support (runtime/checkpoint.hpp). events() is already in
+  // the canonical (ts, id) order; set_events() trusts its input to be.
+  const std::vector<Event>& events() const noexcept { return events_; }
+  void set_events(std::vector<Event> events) { events_ = std::move(events); }
+
  private:
   const CompiledQuery& query_;
   std::size_t step_;

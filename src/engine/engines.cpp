@@ -5,8 +5,20 @@
 #include "engine/inorder/inorder_engine.hpp"
 #include "engine/nfa/nfa_engine.hpp"
 #include "engine/ooo/ooo_engine.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace oosp {
+
+// Base implementations: every shipped engine overrides these; a custom
+// engine that does not is simply not checkpointable, and should fail
+// loudly if a supervisor tries.
+void PatternEngine::snapshot(CheckpointWriter&) const {
+  throw CheckpointError("engine '" + name() + "' does not support snapshot()");
+}
+
+void PatternEngine::restore(CheckpointReader&) {
+  throw CheckpointError("engine '" + name() + "' does not support restore()");
+}
 
 std::string_view to_string(EngineKind k) noexcept {
   switch (k) {

@@ -4,6 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "engine/core/schedule.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace oosp {
 
@@ -166,6 +167,88 @@ void InOrderEngine::emit_candidate(Shard& shard) {
   for (const std::size_t p : step_of_positive_) m.events.push_back(*bindings_[p]);
   m.detection_clock = clock_.now();
   emit(std::move(m));
+}
+
+void InOrderEngine::write_shard(CheckpointWriter& w, const Shard& sh) const {
+  w.tag("shd");
+  w.u64(sh.stacks.size());
+  for (const Stack& st : sh.stacks) {
+    w.u64(st.base);
+    w.u64(st.items.size());
+    for (const Instance& inst : st.items) {
+      w.event(inst.event);
+      w.u64(inst.rip);
+    }
+  }
+  w.u64(sh.negatives.size());
+  for (const NegativeBuffer& nb : sh.negatives) write_negative_buffer(w, nb);
+}
+
+InOrderEngine::Shard InOrderEngine::read_shard(CheckpointReader& r) const {
+  r.expect_tag("shd");
+  Shard sh = make_shard();
+  if (r.count() != sh.stacks.size())
+    throw CheckpointError("inorder checkpoint stack count disagrees with query");
+  for (Stack& st : sh.stacks) {
+    st.base = static_cast<std::size_t>(r.u64());
+    const std::size_t n = r.count(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      Event e = r.event();
+      const std::size_t rip = static_cast<std::size_t>(r.u64());
+      st.items.push_back(Instance{std::move(e), rip});
+    }
+  }
+  if (r.count() != sh.negatives.size())
+    throw CheckpointError("inorder checkpoint negation count disagrees with query");
+  for (NegativeBuffer& nb : sh.negatives) read_negative_buffer(r, nb);
+  return sh;
+}
+
+void InOrderEngine::snapshot(CheckpointWriter& w) const {
+  write_engine_guard(w, name(), query_.text());
+  w.stats(stats_);
+  write_clock(w, clock_);
+  write_admission(w, admission_);
+  w.u64(events_since_purge_);
+  w.boolean(partitioned_);
+  if (!partitioned_) {
+    write_shard(w, root_);
+    return;
+  }
+  // Hash-map iteration order is nondeterministic; sort keys so equal
+  // state always snapshots to equal bytes.
+  std::vector<const std::pair<const Value, Shard>*> entries;
+  entries.reserve(shards_.size());
+  for (const auto& kv : shards_) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first.compare(b->first) < 0; });
+  w.u64(entries.size());
+  for (const auto* kv : entries) {
+    w.value(kv->first);
+    write_shard(w, kv->second);
+  }
+}
+
+void InOrderEngine::restore(CheckpointReader& r) {
+  read_engine_guard(r, name(), query_.text());
+  stats_ = r.stats();
+  read_clock(r, clock_);
+  read_admission(r, admission_);
+  events_since_purge_ = static_cast<std::size_t>(r.u64());
+  if (r.boolean() != partitioned_)
+    throw CheckpointError("inorder checkpoint partitioning disagrees with options");
+  shards_.clear();
+  if (!partitioned_) {
+    root_ = read_shard(r);
+    return;
+  }
+  const std::size_t n = r.count();
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Value key = r.value();
+    Shard sh = read_shard(r);
+    shards_.emplace(std::move(key), std::move(sh));
+  }
 }
 
 void InOrderEngine::maybe_purge() {

@@ -31,6 +31,8 @@ class InOrderEngine final : public PatternEngine {
 
   void on_event(const Event& e) override;
   std::string name() const override { return "inorder-ssc"; }
+  void snapshot(CheckpointWriter& w) const override;
+  void restore(CheckpointReader& r) override;
 
  private:
   struct Instance {
@@ -53,6 +55,8 @@ class InOrderEngine final : public PatternEngine {
 
   Shard make_shard() const;
   Shard& shard_for(const Value& key);
+  void write_shard(CheckpointWriter& w, const Shard& sh) const;
+  Shard read_shard(CheckpointReader& r) const;
   void process_in_shard(Shard& shard, const Event& e, std::size_t step);
   void construct(Shard& shard, const Instance& trigger);
   void descend(Shard& shard, std::size_t ordinal, std::size_t rip_limit,

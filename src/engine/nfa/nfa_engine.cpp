@@ -4,6 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "engine/core/schedule.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace oosp {
 
@@ -141,6 +142,50 @@ void NfaEngine::complete(const Run& run, const Event& last) {
     emit(std::move(m));
   }
   for (const std::size_t p : step_of_positive_) bindings_[p] = nullptr;
+}
+
+void NfaEngine::snapshot(CheckpointWriter& w) const {
+  write_engine_guard(w, name(), query_.text());
+  w.stats(stats_);
+  write_clock(w, clock_);
+  write_admission(w, admission_);
+  w.u64(events_since_purge_);
+  // Runs are kept in their deterministic single-threaded insertion order,
+  // which extension iteration depends on — preserve it verbatim.
+  w.u64(runs_.size());
+  for (const auto& state : runs_) {
+    w.u64(state.size());
+    for (const Run& run : state) {
+      w.u64(run.bound.size());
+      for (const Event& e : run.bound) w.event(e);
+    }
+  }
+  w.u64(negatives_.size());
+  for (const NegativeBuffer& nb : negatives_) write_negative_buffer(w, nb);
+}
+
+void NfaEngine::restore(CheckpointReader& r) {
+  read_engine_guard(r, name(), query_.text());
+  stats_ = r.stats();
+  read_clock(r, clock_);
+  read_admission(r, admission_);
+  events_since_purge_ = static_cast<std::size_t>(r.u64());
+  if (r.count() != runs_.size())
+    throw CheckpointError("nfa checkpoint state count disagrees with query");
+  for (auto& state : runs_) {
+    state.clear();
+    const std::size_t n_runs = r.count(8);
+    for (std::size_t i = 0; i < n_runs; ++i) {
+      Run run;
+      const std::size_t n_bound = r.count(8);
+      run.bound.reserve(n_bound);
+      for (std::size_t k = 0; k < n_bound; ++k) run.bound.push_back(r.event());
+      state.push_back(std::move(run));
+    }
+  }
+  if (r.count() != negatives_.size())
+    throw CheckpointError("nfa checkpoint negation count disagrees with query");
+  for (NegativeBuffer& nb : negatives_) read_negative_buffer(r, nb);
 }
 
 void NfaEngine::maybe_purge() {

@@ -30,6 +30,8 @@ class NfaEngine final : public PatternEngine {
 
   void on_event(const Event& e) override;
   std::string name() const override { return "nfa-runs"; }
+  void snapshot(CheckpointWriter& w) const override;
+  void restore(CheckpointReader& r) override;
 
  private:
   struct Run {

@@ -4,6 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "engine/core/schedule.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace oosp {
 
@@ -450,6 +451,156 @@ void OooEngine::maybe_purge(bool force) {
   } else {
     purge_shard(root_, pos_threshold, neg_threshold);
   }
+}
+
+void OooEngine::write_shard(CheckpointWriter& w, const Shard& sh) const {
+  w.tag("shd");
+  w.u64(sh.stacks.size());
+  for (const SortedStack& st : sh.stacks) {
+    w.u64(st.size());
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      w.event(st[i].event);
+      w.u64(st[i].rip);
+    }
+  }
+  w.u64(sh.negatives.size());
+  for (const NegativeBuffer& nb : sh.negatives) write_negative_buffer(w, nb);
+}
+
+OooEngine::Shard OooEngine::read_shard(CheckpointReader& r) const {
+  r.expect_tag("shd");
+  Shard sh = make_shard();
+  if (r.count() != sh.stacks.size())
+    throw CheckpointError("ooo checkpoint stack count disagrees with query");
+  for (SortedStack& st : sh.stacks) {
+    const std::size_t n = r.count(8);
+    std::vector<OooInstance> items;
+    items.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Event e = r.event();
+      const std::size_t rip = static_cast<std::size_t>(r.u64());
+      items.push_back(OooInstance{std::move(e), rip});
+    }
+    st.set_items(std::move(items));
+  }
+  if (r.count() != sh.negatives.size())
+    throw CheckpointError("ooo checkpoint negation count disagrees with query");
+  for (NegativeBuffer& nb : sh.negatives) read_negative_buffer(r, nb);
+  return sh;
+}
+
+void OooEngine::write_pending(CheckpointWriter& w, const PendingMatch& pm) {
+  w.tag("pnd");
+  w.match(pm.match);
+  w.u64(pm.checks.size());
+  for (const NegCheck& c : pm.checks) {
+    w.u64(c.ordinal);
+    w.i64(c.lo);
+    w.i64(c.hi);
+  }
+  w.i64(pm.seal_ts);
+  w.value(pm.shard_key);
+  // held_since is a wall-clock point; restore re-stamps it with now(), so
+  // the sealing-wait histogram charges recovery wait to the new run.
+}
+
+OooEngine::PendingMatch OooEngine::read_pending(CheckpointReader& r) {
+  r.expect_tag("pnd");
+  PendingMatch pm;
+  pm.match = r.match();
+  const std::size_t n = r.count(8);
+  pm.checks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    NegCheck c;
+    c.ordinal = static_cast<std::size_t>(r.u64());
+    c.lo = r.i64();
+    c.hi = r.i64();
+    pm.checks.push_back(c);
+  }
+  pm.seal_ts = r.i64();
+  pm.shard_key = r.value();
+  pm.held_since = std::chrono::steady_clock::now();
+  return pm;
+}
+
+void OooEngine::snapshot(CheckpointWriter& w) const {
+  write_engine_guard(w, name(), query_.text());
+  w.stats(stats_);
+  write_clock(w, clock_);
+  write_estimator(w, estimator_);
+  write_admission(w, admission_);
+  w.i64(seal_watermark_);
+  w.u64(events_since_purge_);
+  w.boolean(partitioned_);
+  w.boolean(options_.cache_rip);
+  if (partitioned_) {
+    std::vector<const std::pair<const Value, Shard>*> entries;
+    entries.reserve(shards_.size());
+    for (const auto& kv : shards_) entries.push_back(&kv);
+    std::sort(entries.begin(), entries.end(), [](const auto* a, const auto* b) {
+      return a->first.compare(b->first) < 0;
+    });
+    w.u64(entries.size());
+    for (const auto* kv : entries) {
+      w.value(kv->first);
+      write_shard(w, kv->second);
+    }
+  } else {
+    write_shard(w, root_);
+  }
+  // The pending heap's internal layout depends on insertion history;
+  // serialize its contents canonically sorted so equal logical state
+  // snapshots to equal bytes. Restore re-heapifies by pushing.
+  auto heap = pending_;
+  std::vector<PendingMatch> pend;
+  pend.reserve(heap.size());
+  while (!heap.empty()) {
+    pend.push_back(heap.top());
+    heap.pop();
+  }
+  std::sort(pend.begin(), pend.end(), [](const PendingMatch& a, const PendingMatch& b) {
+    if (a.seal_ts != b.seal_ts) return a.seal_ts < b.seal_ts;
+    return match_key(a.match) < match_key(b.match);
+  });
+  w.u64(pend.size());
+  for (const PendingMatch& pm : pend) write_pending(w, pm);
+  // unsealed_emitted_ order is deterministic (single-threaded
+  // swap-remove); preserve verbatim.
+  w.u64(unsealed_emitted_.size());
+  for (const PendingMatch& pm : unsealed_emitted_) write_pending(w, pm);
+}
+
+void OooEngine::restore(CheckpointReader& r) {
+  read_engine_guard(r, name(), query_.text());
+  stats_ = r.stats();
+  read_clock(r, clock_);
+  read_estimator(r, estimator_);
+  read_admission(r, admission_);
+  seal_watermark_ = r.i64();
+  events_since_purge_ = static_cast<std::size_t>(r.u64());
+  if (r.boolean() != partitioned_)
+    throw CheckpointError("ooo checkpoint partitioning disagrees with options");
+  if (r.boolean() != options_.cache_rip)
+    throw CheckpointError("ooo checkpoint cache_rip disagrees with options");
+  shards_.clear();
+  if (partitioned_) {
+    const std::size_t n = r.count();
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Value key = r.value();
+      Shard sh = read_shard(r);
+      shards_.emplace(std::move(key), std::move(sh));
+    }
+  } else {
+    root_ = read_shard(r);
+  }
+  pending_ = {};
+  const std::size_t n_pending = r.count();
+  for (std::size_t i = 0; i < n_pending; ++i) pending_.push(read_pending(r));
+  unsealed_emitted_.clear();
+  const std::size_t n_unsealed = r.count();
+  unsealed_emitted_.reserve(n_unsealed);
+  for (std::size_t i = 0; i < n_unsealed; ++i) unsealed_emitted_.push_back(read_pending(r));
 }
 
 void OooEngine::purge_shard(Shard& shard, Timestamp pos_threshold,

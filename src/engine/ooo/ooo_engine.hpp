@@ -72,6 +72,8 @@ class OooEngine final : public PatternEngine {
   std::vector<Event> drain_quarantine() override {
     return admission_.drain_quarantine();
   }
+  void snapshot(CheckpointWriter& w) const override;
+  void restore(CheckpointReader& r) override;
 
  private:
   struct Shard {
@@ -104,6 +106,10 @@ class OooEngine final : public PatternEngine {
   Shard make_shard() const;
   Shard& shard_for(const Value& key);
   Shard* find_shard(const Value& key);
+  void write_shard(CheckpointWriter& w, const Shard& sh) const;
+  Shard read_shard(CheckpointReader& r) const;
+  static void write_pending(CheckpointWriter& w, const PendingMatch& pm);
+  static PendingMatch read_pending(CheckpointReader& r);
 
   bool passes_local(std::size_t step, const Event& e);
   void insert_positive(Shard& shard, const Value& key, const Event& e, std::size_t step);

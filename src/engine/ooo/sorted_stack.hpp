@@ -49,6 +49,11 @@ class SortedStack {
   // `removed` instances). Every live rip must be >= removed.
   void drop_rips(std::size_t removed) noexcept;
 
+  // Checkpoint support (runtime/checkpoint.hpp). items() is already in
+  // the canonical (ts, id) order; set_items() trusts its input to be.
+  const std::vector<OooInstance>& items() const noexcept { return items_; }
+  void set_items(std::vector<OooInstance> items) { items_ = std::move(items); }
+
   bool empty() const noexcept { return items_.empty(); }
   std::size_t size() const noexcept { return items_.size(); }
   const OooInstance& operator[](std::size_t i) const noexcept { return items_[i]; }

@@ -1,0 +1,19 @@
+#include "runtime/checkpoint.hpp"
+
+#include "engine/core/engine.hpp"
+
+namespace oosp {
+
+std::vector<std::uint8_t> checkpoint_engine(const PatternEngine& engine) {
+  CheckpointWriter w;
+  engine.snapshot(w);
+  return std::move(w).finalize();
+}
+
+void restore_engine(PatternEngine& engine, std::span<const std::uint8_t> frame) {
+  CheckpointReader r(frame);
+  engine.restore(r);
+  r.expect_done();
+}
+
+}  // namespace oosp

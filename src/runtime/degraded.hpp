@@ -28,6 +28,25 @@ struct DegradedResult {
   FaultStats faults;    // what the injector actually did
 };
 
+// Degraded-mode accounting for the sharded runtime's restart-exhaustion
+// policy (RestartPolicy::kDegradeDropShard): when a shard burns through
+// its restart budget the session completes WITHOUT it, and this records
+// exactly what that cost. The output contract degrades from exactly-once
+// to "exactly-once over the surviving shards plus the dropped shards'
+// checkpointed prefix": stable (checkpoint-drained) matches of a dropped
+// shard are kept, everything after its last checkpoint is lost with the
+// events counted here.
+struct DegradedAccounting {
+  std::size_t dropped_shards = 0;
+  // Events discarded on dropped shards: replayable backup thrown away at
+  // drop time plus everything routed there afterwards.
+  std::uint64_t dropped_events = 0;
+  // Matches salvaged from dropped shards' checkpoint-stable output.
+  std::uint64_t stable_matches_kept = 0;
+
+  bool degraded() const noexcept { return dropped_shards > 0; }
+};
+
 // Applies `faults` to `clean_ordered` (a ts-ordered stream), feeds the
 // result through the engine described by `config`, and scores the output
 // against the oracle over the clean stream. Match collection is forced

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace oosp {
 
@@ -68,6 +69,32 @@ void MultiQueryRunner::on_event(const Event& e) {
 
 void MultiQueryRunner::finish() {
   for (Entry& entry : entries_) entry.engine->finish();
+}
+
+void MultiQueryRunner::snapshot(CheckpointWriter& w) const {
+  w.tag("mqr");
+  w.u64(entries_.size());
+  for (const Entry& entry : entries_) entry.engine->snapshot(w);
+  w.u64(events_seen_);
+  w.u64(events_routed_);
+}
+
+void MultiQueryRunner::restore(CheckpointReader& r) {
+  r.expect_tag("mqr");
+  if (r.count() != entries_.size())
+    throw CheckpointError("checkpoint query count disagrees with runner");
+  for (Entry& entry : entries_) entry.engine->restore(r);
+  events_seen_ = r.u64();
+  events_routed_ = r.u64();
+  started_ = events_seen_ > 0;
+}
+
+std::vector<std::pair<QueryId, Event>> MultiQueryRunner::drain_quarantine() {
+  std::vector<std::pair<QueryId, Event>> out;
+  for (QueryId id = 0; id < entries_.size(); ++id)
+    for (Event& e : entries_[id].engine->drain_quarantine())
+      out.emplace_back(id, std::move(e));
+  return out;
 }
 
 }  // namespace oosp

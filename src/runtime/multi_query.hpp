@@ -28,6 +28,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/engines.hpp"
@@ -64,6 +65,17 @@ class MultiQueryRunner {
   // deliveries to negation holders do not count as routing).
   std::uint64_t events_routed() const noexcept { return events_routed_; }
   std::uint64_t events_seen() const noexcept { return events_seen_; }
+
+  // Crash-recovery serialization: every engine's snapshot in query-id
+  // order plus the runner's own counters, one section per engine. The
+  // restoring runner must have the same queries registered in the same
+  // order with the same kinds/options (guards are validated per engine).
+  void snapshot(CheckpointWriter& w) const;
+  void restore(CheckpointReader& r);
+
+  // Union of every engine's quarantined late events, in arrival order
+  // per engine, tagged with the owning query id.
+  std::vector<std::pair<QueryId, Event>> drain_quarantine();
 
  private:
   struct TagSink final : public MatchSink {

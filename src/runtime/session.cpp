@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <tuple>
 #include <utility>
 
 #include "common/contracts.hpp"
@@ -17,6 +18,7 @@ Session::Session(const TypeRegistry& registry, SessionConfig config,
   if (config.metrics_) {
     metrics_ = std::make_unique<MetricsRegistry>();
     session_events_ = metrics_->counter("oosp_session_events_total");
+    quarantine_drained_ = metrics_->counter("oosp_session_quarantine_drained_total");
   }
 
   specs_.reserve(config.declarations_.size());
@@ -39,9 +41,9 @@ Session::Session(const TypeRegistry& registry, SessionConfig config,
   }
 
   if (shards > 1) {
-    sharded_runner_ =
-        std::make_unique<ShardedRunner>(registry_, specs_, shards, *partition,
-                                        config.queue_capacity_, metrics_.get());
+    sharded_runner_ = std::make_unique<ShardedRunner>(
+        registry_, specs_, shards, *partition, config.queue_capacity_,
+        metrics_.get(), std::move(config.recovery_));
   } else {
     // Single-shard path collects into the same kind of sink a shard
     // uses, so finish() runs the identical canonical-order delivery.
@@ -89,6 +91,21 @@ void Session::finish() {
   }
   for (TaggedMatch& tm : matches) sink_->on_match(tm.query, std::move(tm.match));
   for (const TaggedMatch& tm : retractions) sink_->on_retract(tm.query, tm.match);
+
+  // Drain quarantined late events (LatePolicy::kQuarantine) from every
+  // engine now that the workers are joined; canonical (query, ts, id)
+  // order makes the report identical across shard counts.
+  if (sharded_runner_) {
+    quarantined_ = sharded_runner_->drain_quarantine();
+  } else {
+    quarantined_ = inline_runner_->drain_quarantine();
+  }
+  std::sort(quarantined_.begin(), quarantined_.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(a.first, a.second.ts, a.second.id) <
+                     std::tie(b.first, b.second.ts, b.second.id);
+            });
+  if (quarantine_drained_) quarantine_drained_->inc(quarantined_.size());
 }
 
 std::size_t Session::query_count() const noexcept { return specs_.size(); }
@@ -111,8 +128,31 @@ std::size_t Session::shard_count() const noexcept {
 }
 
 void Session::close() {
-  stop_reporter();
-  finish();
+  // call_once makes concurrent closes safe: one caller shuts down, the
+  // rest block until it is done. If the shutdown throws (a dead worker's
+  // exception surfacing from finish), the flag stays unset — but finish()
+  // marked itself done before rethrowing, so a retrying close() runs an
+  // orderly no-op pass instead of rethrowing forever.
+  std::call_once(close_once_, [this] {
+    stop_reporter();
+    finish();
+  });
+}
+
+std::size_t Session::restarts() const noexcept {
+  return sharded_runner_ ? sharded_runner_->restarts_total() : 0;
+}
+
+std::uint64_t Session::replayed_events() const noexcept {
+  return sharded_runner_ ? sharded_runner_->replayed_events_total() : 0;
+}
+
+std::size_t Session::dropped_shards() const noexcept {
+  return sharded_runner_ ? sharded_runner_->degraded_accounting().dropped_shards : 0;
+}
+
+DegradedAccounting Session::degraded_accounting() const noexcept {
+  return sharded_runner_ ? sharded_runner_->degraded_accounting() : DegradedAccounting{};
 }
 
 MetricsSnapshot Session::metrics_snapshot() const {

@@ -66,6 +66,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "runtime/sharded.hpp"
@@ -134,6 +135,37 @@ class SessionConfig {
     return *this;
   }
 
+  // ---- Crash recovery (sharded mode only; see runtime/sharded.hpp
+  // RecoveryConfig). checkpoint_every(0) — the default — disables
+  // supervision: a dead worker fails the session fast. With a cadence
+  // set, a dead worker is restored from its last checkpoint and the
+  // backup replayed, so the session's output stays exactly-once and
+  // bit-identical to a fault-free run. Inactive when the session falls
+  // back to single-shard execution (no worker threads to supervise).
+  SessionConfig& checkpoint_every(std::size_t consumed_events) {
+    recovery_.checkpoint_every = consumed_events;
+    return *this;
+  }
+  SessionConfig& max_restarts(std::size_t per_shard_budget) {
+    recovery_.max_restarts = per_shard_budget;
+    return *this;
+  }
+  SessionConfig& restart_backoff(std::chrono::milliseconds initial,
+                                 std::chrono::milliseconds cap) {
+    recovery_.backoff = initial;
+    recovery_.max_backoff = cap;
+    return *this;
+  }
+  SessionConfig& on_restart_exhausted(RestartPolicy policy) {
+    recovery_.on_exhausted = policy;
+    return *this;
+  }
+  // Fault injection: worker-kill hook (WorkerKillFault::hook()).
+  SessionConfig& kill_hook(WorkerKillHook hook) {
+    recovery_.kill_hook = std::move(hook);
+    return *this;
+  }
+
   // Registers a query. Ids are assigned densely in declaration order.
   SessionConfig& query(std::string text) {
     declarations_.push_back({std::move(text), std::nullopt, std::nullopt});
@@ -161,6 +193,7 @@ class SessionConfig {
   EngineOptions default_options_;
   std::size_t shards_ = 1;
   std::size_t queue_capacity_ = 64 * 1024;
+  RecoveryConfig recovery_;
   bool metrics_ = true;
   std::chrono::milliseconds report_every_{0};
   std::function<void(const std::string&)> report_to_;
@@ -189,8 +222,12 @@ class Session {
   void finish();
 
   // Orderly shutdown: stops the periodic reporter, then finish().
-  // Idempotent; the place a sharded worker's failure surfaces if the
-  // producer never tripped over it in on_event().
+  // Idempotent AND safe to call concurrently (from a signal/shutdown
+  // thread racing the owner, or twice from the same thread): exactly one
+  // caller performs the shutdown, the rest wait for it to complete. The
+  // place a sharded worker's failure surfaces if the producer never
+  // tripped over it in on_event(); if the shutdown throws, a retry is an
+  // orderly no-op.
   void close();
 
   std::size_t query_count() const noexcept;
@@ -210,6 +247,21 @@ class Session {
   const std::string& shard_fallback_reason() const noexcept { return fallback_reason_; }
 
   std::uint64_t events_seen() const noexcept { return events_seen_; }
+
+  // Quarantined late events (LatePolicy::kQuarantine), drained from
+  // every engine at finish()/close() and sorted canonically by
+  // (query, ts, id) — identical for every shard count, and checkpoint
+  // recovery preserves them exactly-once. Also counted in the
+  // oosp_session_quarantine_drained_total metric.
+  const std::vector<std::pair<QueryId, Event>>& quarantined() const noexcept {
+    return quarantined_;
+  }
+
+  // Crash-recovery accounting (sharded mode; all zero otherwise).
+  std::size_t restarts() const noexcept;
+  std::uint64_t replayed_events() const noexcept;
+  std::size_t dropped_shards() const noexcept;
+  DegradedAccounting degraded_accounting() const noexcept;
 
   // Observability. The registry outlives every engine (Session member
   // order); snapshot/text may be called at any time, including mid-run.
@@ -232,6 +284,9 @@ class Session {
   std::string fallback_reason_;
   bool finished_ = false;
   std::uint64_t events_seen_ = 0;
+  std::once_flag close_once_;
+  Counter* quarantine_drained_ = nullptr;
+  std::vector<std::pair<QueryId, Event>> quarantined_;
 
   // Periodic reporter (optional). cv-based stop so close() never waits a
   // full interval.

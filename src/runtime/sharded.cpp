@@ -1,12 +1,22 @@
 #include "runtime/sharded.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <tuple>
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "runtime/checkpoint.hpp"
 
 namespace oosp {
+
+std::string_view to_string(RestartPolicy p) noexcept {
+  switch (p) {
+    case RestartPolicy::kFail: return "fail";
+    case RestartPolicy::kDegradeDropShard: return "degrade-drop-shard";
+  }
+  return "?";
+}
 
 std::optional<PartitionSpec> PartitionSpec::build(std::span<const ShardQuerySpec> specs,
                                                   const TypeRegistry& registry,
@@ -70,13 +80,30 @@ std::vector<TaggedMatch> merge_match_streams(
 ShardedRunner::ShardedRunner(const TypeRegistry& registry,
                              std::vector<ShardQuerySpec> specs, std::size_t num_shards,
                              PartitionSpec partition, std::size_t queue_capacity,
-                             MetricsRegistry* metrics)
-    : registry_(registry), specs_(std::move(specs)), partition_(partition) {
+                             MetricsRegistry* metrics, RecoveryConfig recovery)
+    : registry_(registry),
+      specs_(std::move(specs)),
+      partition_(partition),
+      queue_capacity_(queue_capacity),
+      recovery_(std::move(recovery)) {
   OOSP_REQUIRE(num_shards >= 1, "ShardedRunner needs at least one shard");
+  if (recovery_.enabled())
+    backup_capacity_ = 2 * recovery_.checkpoint_every + queue_capacity_;
   if (metrics) {
     push_retries_ = metrics->counter("oosp_shard_push_retries_total");
     worker_failures_ = metrics->counter("oosp_shard_worker_failures_total");
     broadcasts_ = metrics->counter("oosp_shard_broadcasts_total");
+    if (recovery_.enabled()) {
+      checkpoints_ = metrics->counter("oosp_shard_checkpoints_total");
+      checkpoint_bytes_ = metrics->gauge("oosp_shard_checkpoint_bytes", GaugeAgg::kMax);
+      checkpoint_duration_ =
+          metrics->histogram("oosp_shard_checkpoint_duration_us");
+      restarts_obs_ = metrics->counter("oosp_shard_restarts_total");
+      replayed_obs_ = metrics->counter("oosp_shard_replayed_events_total");
+      recovery_duration_ = metrics->histogram("oosp_shard_recovery_duration_us");
+      dropped_shards_obs_ = metrics->counter("oosp_shard_dropped_shards_total");
+      dropped_events_obs_ = metrics->counter("oosp_shard_dropped_events_total");
+    }
   }
   shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
@@ -122,7 +149,14 @@ void ShardedRunner::worker_loop(Shard& shard) {
           shard.queue_depth->set(
               static_cast<std::int64_t>(shard.queue->size_approx()));
         }
+        // Fault injection: die BEFORE processing, so the victim event is
+        // neither reflected in engine state nor covered by a checkpoint —
+        // the supervisor must replay it.
+        if (recovery_.kill_hook && recovery_.kill_hook(e)) throw WorkerKilled(e.id);
         shard.runner->on_event(e);
+        ++shard.consumed;
+        if (recovery_.enabled() && shard.consumed % recovery_.checkpoint_every == 0)
+          checkpoint_shard(shard);
         if (shard.merge_occupancy)
           shard.merge_occupancy->set(
               static_cast<std::int64_t>(shard.sink->matches().size()));
@@ -132,6 +166,7 @@ void ShardedRunner::worker_loop(Shard& shard) {
       std::this_thread::yield();
     }
     shard.runner->finish();
+    shard.final_stats.clear();  // a dead predecessor may have left partial rows
     shard.final_stats.reserve(shard.runner->query_count());
     for (QueryId q = 0; q < shard.runner->query_count(); ++q)
       shard.final_stats.push_back(shard.runner->stats(q));
@@ -144,6 +179,178 @@ void ShardedRunner::worker_loop(Shard& shard) {
   }
 }
 
+void ShardedRunner::checkpoint_shard(Shard& shard) {
+  // Runs on whichever thread currently owns the shard's runner: the live
+  // worker at its cadence, or the producer right after a replay.
+  const auto t0 = std::chrono::steady_clock::now();
+  CheckpointWriter w;
+  shard.runner->snapshot(w);
+  std::vector<std::uint8_t> bytes = std::move(w).finalize();
+  const std::size_t frame_size = bytes.size();
+  {
+    std::lock_guard<std::mutex> lock(shard.ckpt_mu);
+    // Drain emissions into stable storage IN the same critical section
+    // that publishes the bytes: the checkpoint and the match prefix it
+    // finalizes must move together, or a crash between them would
+    // duplicate (or lose) the in-between matches.
+    auto matches = shard.sink->take();
+    std::move(matches.begin(), matches.end(), std::back_inserter(shard.stable_matches));
+    auto retractions = shard.sink->take_retracted();
+    std::move(retractions.begin(), retractions.end(),
+              std::back_inserter(shard.stable_retractions));
+    shard.ckpt_bytes = std::move(bytes);
+    shard.ckpt_consumed_locked = shard.consumed;
+  }
+  // Trim watermark last (release): a producer that observes it is
+  // guaranteed the locked section above already happened.
+  shard.ckpt_consumed.store(shard.consumed, std::memory_order_release);
+  if (checkpoints_) {
+    checkpoints_->inc();
+    checkpoint_bytes_->set(static_cast<std::int64_t>(frame_size));
+    checkpoint_duration_->observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  }
+}
+
+void ShardedRunner::trim_backup(Shard& shard) {
+  const std::uint64_t upto = shard.ckpt_consumed.load(std::memory_order_acquire);
+  while (shard.trimmed < upto && !shard.backup.empty()) {
+    shard.backup.pop_front();
+    ++shard.trimmed;
+  }
+}
+
+void ShardedRunner::admit_to_backup(Shard& shard, const Event& e) {
+  trim_backup(shard);
+  // Bounded ring: block (yielding) until a checkpoint retires enough of
+  // the backlog. Steady state never gets here — between trims the ring
+  // holds at most checkpoint_every + queue_capacity events.
+  while (shard.backup.size() >= backup_capacity_) {
+    if (shard.dead.load(std::memory_order_acquire)) {
+      // A dead worker will never checkpoint; recover first (replays the
+      // backup and trims it), then resume admitting. supervise may throw
+      // (kFail exhaustion) or drop the shard — the caller re-checks.
+      if (!supervise_dead_shard(shard)) return;
+    }
+    std::this_thread::yield();
+    trim_backup(shard);
+  }
+  shard.backup.push_back(e);
+  ++shard.pushed;
+}
+
+void ShardedRunner::drop_shard(Shard& shard) {
+  shard.dropped = true;
+  // Everything not yet covered by a checkpoint is lost: the un-replayed
+  // backup now, plus whatever the producer routes here later.
+  trim_backup(shard);
+  const std::uint64_t lost = shard.backup.size();
+  shard.dropped_events += lost;
+  shard.backup.clear();
+  shard.queue = std::make_unique<SpscQueue<Event>>(queue_capacity_);
+  // A fresh empty sink so take_output() sees only the stable prefix, not
+  // the dead incarnation's uncheckpointed emissions.
+  shard.sink = std::make_shared<CollectingTaggedSink>();
+  shard.dead.store(false, std::memory_order_release);
+  shard.error = nullptr;
+  ++degraded_.dropped_shards;
+  degraded_.dropped_events += lost;
+  {
+    std::lock_guard<std::mutex> lock(shard.ckpt_mu);
+    degraded_.stable_matches_kept += shard.stable_matches.size();
+  }
+  if (dropped_shards_obs_) dropped_shards_obs_->inc();
+  if (dropped_events_obs_) dropped_events_obs_->inc(lost);
+}
+
+bool ShardedRunner::supervise_dead_shard(Shard& shard) {
+  if (shard.worker.joinable()) shard.worker.join();
+  while (true) {
+    if (shard.restarts >= recovery_.max_restarts) {
+      if (recovery_.on_exhausted == RestartPolicy::kDegradeDropShard) {
+        drop_shard(shard);
+        return false;
+      }
+      rethrow_worker_error(shard);
+    }
+    ++shard.restarts;
+    if (restarts_obs_) restarts_obs_->inc();
+    // Exponential backoff, capped. Shift count is bounded by the cap
+    // check, not the restart count, so a large budget cannot overflow.
+    std::chrono::milliseconds wait = recovery_.backoff;
+    for (std::size_t i = 1; i < shard.restarts && wait < recovery_.max_backoff; ++i)
+      wait *= 2;
+    wait = std::min(wait, recovery_.max_backoff);
+    if (wait.count() > 0) std::this_thread::sleep_for(wait);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    // Rebuild the execution state from scratch; the dead incarnation's
+    // queue contents are a suffix of the backup, and its sink holds only
+    // post-checkpoint emissions that replay will regenerate — discard
+    // both wholesale.
+    shard.queue = std::make_unique<SpscQueue<Event>>(queue_capacity_);
+    shard.sink = std::make_shared<CollectingTaggedSink>();
+    shard.runner = std::make_unique<MultiQueryRunner>(registry_, shard.sink);
+    for (const ShardQuerySpec& spec : specs_)
+      shard.runner->add_query(spec.query, spec.kind, spec.options);
+    try {
+      std::uint64_t replayed = 0;
+      std::uint64_t ckpt_consumed = 0;
+      {
+        std::lock_guard<std::mutex> lock(shard.ckpt_mu);
+        if (!shard.ckpt_bytes.empty()) {
+          CheckpointReader r(shard.ckpt_bytes);
+          shard.runner->restore(r);
+          r.expect_done();
+        }
+        ckpt_consumed = shard.ckpt_consumed_locked;
+      }
+      // Replay the backup suffix the checkpoint does not cover. The trim
+      // watermark may lag the locked consumed count (it is published
+      // after the lock), so skip what the checkpoint already absorbed.
+      OOSP_CHECK(ckpt_consumed >= shard.trimmed,
+                 "checkpoint watermark behind the backup trim point");
+      const std::uint64_t skip = ckpt_consumed - shard.trimmed;
+      for (std::size_t i = static_cast<std::size_t>(skip); i < shard.backup.size(); ++i) {
+        const Event& ev = shard.backup[i];
+        // Replay runs the same processing a live worker would, so an
+        // event that deterministically crashes processing crashes the
+        // replay too — each attempt burns a restart until the budget is
+        // spent. Transient faults (WorkerKillFault fires once per
+        // victim) kill at most one attempt and then converge.
+        if (recovery_.kill_hook && recovery_.kill_hook(ev)) throw WorkerKilled(ev.id);
+        shard.runner->on_event(ev);
+        ++replayed;
+      }
+      shard.consumed = ckpt_consumed + replayed;
+      replayed_events_ += replayed;
+      if (replayed_obs_) replayed_obs_->inc(replayed);
+      // Post-recovery checkpoint: retires the replayed suffix from the
+      // ring (bounding a repeat crash) and moves the regenerated matches
+      // to stable storage.
+      checkpoint_shard(shard);
+      trim_backup(shard);
+    } catch (...) {
+      // Restore/replay failed (e.g. a deterministic engine fault) —
+      // charge a restart and try again until the budget runs out.
+      shard.error = std::current_exception();
+      if (worker_failures_) worker_failures_->inc();
+      continue;
+    }
+    shard.dead.store(false, std::memory_order_release);
+    shard.error = nullptr;
+    shard.worker = std::thread([this, s = &shard] { worker_loop(*s); });
+    if (recovery_duration_)
+      recovery_duration_->observe(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    return true;
+  }
+}
+
 void ShardedRunner::rethrow_worker_error(const Shard& shard) {
   OOSP_CHECK(shard.error != nullptr, "dead shard without a stored exception");
   // Each failure surfaces exactly once: whichever of on_event / finish
@@ -153,13 +360,45 @@ void ShardedRunner::rethrow_worker_error(const Shard& shard) {
 }
 
 void ShardedRunner::push_blocking(Shard& shard, Event e) {
-  // Fail fast on a dead worker even when its queue still has room — the
-  // events would never be consumed anyway.
-  if (shard.dead.load(std::memory_order_acquire)) rethrow_worker_error(shard);
+  if (shard.dropped) {
+    ++shard.dropped_events;
+    ++degraded_.dropped_events;
+    if (dropped_events_obs_) dropped_events_obs_->inc();
+    return;
+  }
+  if (shard.dead.load(std::memory_order_acquire)) {
+    // Without supervision, fail fast even when the queue still has room —
+    // the events would never be consumed anyway (the PR 3 contract).
+    if (!recovery_.enabled()) rethrow_worker_error(shard);
+    if (!supervise_dead_shard(shard)) {
+      ++shard.dropped_events;
+      ++degraded_.dropped_events;
+      if (dropped_events_obs_) dropped_events_obs_->inc();
+      return;
+    }
+  }
+  // Admit to the upstream backup BEFORE the queue: from this point on a
+  // worker death replays the event from the backup, so it can never be
+  // stranded in a dead incarnation's queue.
+  if (recovery_.enabled()) {
+    admit_to_backup(shard, e);
+    if (shard.dropped) {  // supervision inside the ring spin gave up
+      ++shard.dropped_events;
+      ++degraded_.dropped_events;
+      if (dropped_events_obs_) dropped_events_obs_->inc();
+      return;
+    }
+  }
   while (!shard.queue->try_push(std::move(e))) {
-    // A dead worker will never drain this queue; surface its exception to
-    // the producer instead of spinning forever.
-    if (shard.dead.load(std::memory_order_acquire)) rethrow_worker_error(shard);
+    if (shard.dead.load(std::memory_order_acquire)) {
+      // A dead worker will never drain this queue; surface its exception
+      // to the producer instead of spinning forever.
+      if (!recovery_.enabled()) rethrow_worker_error(shard);
+      // The event is already in the backup: supervision replays it (or
+      // the drop policy accounts it) — pushing again would duplicate it.
+      supervise_dead_shard(shard);
+      return;
+    }
     if (push_retries_) push_retries_->inc();
     std::this_thread::yield();
   }
@@ -190,6 +429,19 @@ void ShardedRunner::finish() {
   for (auto& shard : shards_) shard->stop.store(true, std::memory_order_release);
   for (auto& shard : shards_)
     if (shard->worker.joinable()) shard->worker.join();
+  if (recovery_.enabled()) {
+    // A worker that died during the drain (or earlier, with nothing routed
+    // to it since) is recovered even now: supervision restores + replays,
+    // and because stop is already set the respawned incarnation drains its
+    // (empty) queue, finishes, and exits — loop until the shard ends the
+    // run alive with final stats recorded, or is dropped.
+    for (auto& shard : shards_) {
+      while (shard->dead.load(std::memory_order_acquire)) {
+        if (!supervise_dead_shard(*shard)) break;  // dropped
+        if (shard->worker.joinable()) shard->worker.join();
+      }
+    }
+  }
   // All threads are gone; surface the first failure (deterministically by
   // shard index) now that the runner is safe to destroy — unless the
   // producer already took it from a push. finished_ was set first, so a
@@ -208,17 +460,28 @@ bool ShardedRunner::worker_failed() const noexcept {
 
 std::vector<TaggedMatch> ShardedRunner::take_output() {
   OOSP_CHECK(finished_, "take_output before finish");
+  // Per shard: the checkpoint-stable prefix, then everything the final
+  // incarnation emitted after its last checkpoint. The merge canonicalizes
+  // order, so the concatenation point is invisible in the output.
   std::vector<std::vector<TaggedMatch>> streams;
-  streams.reserve(shards_.size());
-  for (auto& shard : shards_) streams.push_back(shard->sink->take());
+  streams.reserve(shards_.size() * 2);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->ckpt_mu);
+    streams.push_back(std::move(shard->stable_matches));
+    streams.push_back(shard->sink->take());
+  }
   return merge_match_streams(std::move(streams));
 }
 
 std::vector<TaggedMatch> ShardedRunner::take_retractions() {
   OOSP_CHECK(finished_, "take_retractions before finish");
   std::vector<std::vector<TaggedMatch>> streams;
-  streams.reserve(shards_.size());
-  for (auto& shard : shards_) streams.push_back(shard->sink->take_retracted());
+  streams.reserve(shards_.size() * 2);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->ckpt_mu);
+    streams.push_back(std::move(shard->stable_retractions));
+    streams.push_back(shard->sink->take_retracted());
+  }
   return merge_match_streams(std::move(streams));
 }
 
@@ -233,6 +496,26 @@ EngineStats ShardedRunner::stats(QueryId id) const {
     merged += shard->final_stats.at(id);
   }
   return merged;
+}
+
+std::vector<std::pair<QueryId, Event>> ShardedRunner::drain_quarantine() {
+  OOSP_CHECK(finished_, "drain_quarantine before finish");
+  std::vector<std::pair<QueryId, Event>> out;
+  for (auto& shard : shards_) {
+    auto drained = shard->runner->drain_quarantine();
+    std::move(drained.begin(), drained.end(), std::back_inserter(out));
+  }
+  return out;
+}
+
+std::size_t ShardedRunner::restarts_total() const noexcept {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->restarts;
+  return total;
+}
+
+DegradedAccounting ShardedRunner::degraded_accounting() const noexcept {
+  return degraded_;
 }
 
 std::uint64_t ShardedRunner::events_routed() const {

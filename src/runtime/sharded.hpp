@@ -34,7 +34,11 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -43,7 +47,9 @@
 
 #include "common/spsc_queue.hpp"
 #include "obs/metrics.hpp"
+#include "runtime/degraded.hpp"
 #include "runtime/multi_query.hpp"
+#include "stream/faults.hpp"
 
 namespace oosp {
 
@@ -83,6 +89,49 @@ class PartitionSpec {
   std::vector<std::size_t> slots_;  // by TypeId
 };
 
+// What to do with a shard whose worker keeps dying after its restart
+// budget is spent.
+enum class RestartPolicy : std::uint8_t {
+  // Rethrow the worker's exception to the producer — the PR 3 fail-fast
+  // behavior, now reached only after every restart was exhausted.
+  kFail,
+  // Drop the shard and complete the run without it. Its checkpoint-stable
+  // matches are kept; everything since the last checkpoint is lost with
+  // accounting (DegradedAccounting). The other shards are untouched.
+  kDegradeDropShard,
+};
+
+std::string_view to_string(RestartPolicy p) noexcept;
+
+// Crash-recovery policy for the sharded runtime. checkpoint_every == 0
+// disables supervision entirely: a dead worker fails the session fast,
+// exactly as before this subsystem existed.
+struct RecoveryConfig {
+  // Per-shard checkpoint cadence in CONSUMED events. Each checkpoint
+  // serializes the shard's full engine state (runtime/checkpoint.hpp) and
+  // drains its emitted matches into supervisor-held stable storage; the
+  // upstream-backup ring is trimmed to the checkpoint, so this knob
+  // bounds both replay work and backup memory. 0 = recovery off.
+  std::size_t checkpoint_every = 0;
+  // Restart budget per shard (lifetime, not consecutive).
+  std::size_t max_restarts = 3;
+  // Backoff before restart attempt n (1-based): backoff << (n-1), capped
+  // at max_backoff.
+  std::chrono::milliseconds backoff{5};
+  std::chrono::milliseconds max_backoff{1000};
+  RestartPolicy on_exhausted = RestartPolicy::kFail;
+  // Fault injection: consulted immediately before each event is
+  // processed — by the live worker loop AND by recovery replay, which
+  // runs the same processing path; true = throw WorkerKilled there. A
+  // deterministic poison event therefore keeps killing until the restart
+  // budget is spent, while transient faults (stream/faults.hpp
+  // WorkerKillFault::hook() fires once per victim) kill at most one
+  // attempt each and recovery converges.
+  WorkerKillHook kill_hook;
+
+  bool enabled() const noexcept { return checkpoint_every > 0; }
+};
+
 // Canonical cross-shard output order: (seal_ts = match.last_ts(),
 // query id, match key). Returns the concatenation of `streams` sorted
 // into that order; used for matches and retractions alike.
@@ -96,7 +145,7 @@ class ShardedRunner {
   ShardedRunner(const TypeRegistry& registry, std::vector<ShardQuerySpec> specs,
                 std::size_t num_shards, PartitionSpec partition,
                 std::size_t queue_capacity = 64 * 1024,
-                MetricsRegistry* metrics = nullptr);
+                MetricsRegistry* metrics = nullptr, RecoveryConfig recovery = {});
   ~ShardedRunner();
 
   ShardedRunner(const ShardedRunner&) = delete;
@@ -123,6 +172,14 @@ class ShardedRunner {
   // Cross-shard aggregate (EngineStats::operator+=).
   EngineStats stats(QueryId id) const;
 
+  // After finish(): union of every shard's quarantined late events
+  // (LatePolicy::kQuarantine), tagged with the owning query id. Shard
+  // concatenation order; callers wanting a canonical order sort by
+  // (query, ts, id). Quarantine state rides in checkpoints, so a
+  // recovered shard reports exactly the events an uninterrupted run
+  // would have.
+  std::vector<std::pair<QueryId, Event>> drain_quarantine();
+
   std::size_t shard_count() const noexcept { return shards_.size(); }
   std::size_t query_count() const noexcept { return specs_.size(); }
   const CompiledQuery& query(QueryId id) const { return *specs_.at(id).query; }
@@ -131,6 +188,11 @@ class ShardedRunner {
 
   // True once any worker has died on an exception (before finish()).
   bool worker_failed() const noexcept;
+
+  // Supervision accounting (producer thread; exact after finish()).
+  std::size_t restarts_total() const noexcept;
+  std::uint64_t replayed_events_total() const noexcept { return replayed_events_; }
+  DegradedAccounting degraded_accounting() const noexcept;
 
  private:
   struct Shard {
@@ -153,15 +215,63 @@ class ShardedRunner {
     Gauge* queue_depth = nullptr;      // ingress occupancy, scrape keeps max
     Gauge* watermark_lag = nullptr;    // global clock − event ts at dequeue
     Gauge* merge_occupancy = nullptr;  // matches parked awaiting the merge
+
+    // ---- Supervision state; all of it idle when recovery is disabled.
+    //
+    // Producer-owned upstream backup: every event admitted to this shard
+    // whose processing is not yet covered by a checkpoint. Entry i (since
+    // `trimmed` were popped) is the (trimmed+i)-th event ever pushed;
+    // trimming follows the worker's published checkpoint watermark.
+    std::deque<Event> backup;
+    std::uint64_t pushed = 0;   // events ever admitted (producer-owned)
+    std::uint64_t trimmed = 0;  // backup entries retired to a checkpoint
+    std::size_t restarts = 0;   // lifetime restart count (producer-owned)
+    bool dropped = false;       // kDegradeDropShard spent the budget
+    std::uint64_t dropped_events = 0;
+
+    // Worker-published checkpoint: bytes + everything the shard emitted
+    // up to that point, moved to "stable" storage so a later incarnation
+    // can be discarded wholesale without losing or duplicating output.
+    // The mutex orders worker publication against producer recovery;
+    // `ckpt_consumed` additionally lets the producer trim the backup
+    // without taking the lock on the hot path (stored release AFTER the
+    // locked section, so a trim never outruns the bytes it relies on).
+    std::mutex ckpt_mu;
+    std::vector<std::uint8_t> ckpt_bytes;    // empty = no checkpoint yet
+    std::uint64_t ckpt_consumed_locked = 0;  // consumed count the bytes describe
+    std::vector<TaggedMatch> stable_matches;
+    std::vector<TaggedMatch> stable_retractions;
+    std::atomic<std::uint64_t> ckpt_consumed{0};
+
+    // Events processed by the current incarnation's runner. Owned by the
+    // live worker; ownership passes to the producer at join() and back at
+    // respawn.
+    std::uint64_t consumed = 0;
   };
 
   void worker_loop(Shard& shard);
   void push_blocking(Shard& shard, Event e);
   [[noreturn]] void rethrow_worker_error(const Shard& shard);
 
+  // Supervision internals (recovery enabled only).
+  void checkpoint_shard(Shard& shard);          // worker thread (or producer mid-recovery)
+  void trim_backup(Shard& shard);               // producer thread
+  void admit_to_backup(Shard& shard, const Event& e);  // producer thread
+  // Join the dead worker, restore + replay with bounded retries, respawn.
+  // Returns false when the shard was dropped (kDegradeDropShard);
+  // rethrows the worker error on kFail exhaustion (or recovery disabled).
+  bool supervise_dead_shard(Shard& shard);
+  void drop_shard(Shard& shard);
+
   const TypeRegistry& registry_;
   std::vector<ShardQuerySpec> specs_;
   PartitionSpec partition_;
+  std::size_t queue_capacity_;
+  RecoveryConfig recovery_;
+  // Backup ring bound: past this the producer blocks until a checkpoint
+  // trims (steady state never reaches it — the ring holds at most
+  // checkpoint_every + queue_capacity events between trims).
+  std::size_t backup_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   ValueHasher hasher_;
   bool finished_ = false;
@@ -177,6 +287,17 @@ class ShardedRunner {
   Counter* push_retries_ = nullptr;     // producer spins on a full queue
   Counter* worker_failures_ = nullptr;  // workers killed by an exception
   Counter* broadcasts_ = nullptr;       // tick-only events sent to every shard
+  // Recovery instruments.
+  Counter* checkpoints_ = nullptr;        // checkpoints taken, all shards
+  Gauge* checkpoint_bytes_ = nullptr;     // last frame size (scrape keeps max)
+  Histogram* checkpoint_duration_ = nullptr;  // serialize+drain wall time, us
+  Counter* restarts_obs_ = nullptr;       // worker respawns
+  Counter* replayed_obs_ = nullptr;       // events re-fed from the backup
+  Histogram* recovery_duration_ = nullptr;  // restore+replay wall time, us
+  Counter* dropped_shards_obs_ = nullptr;
+  Counter* dropped_events_obs_ = nullptr;
+  std::uint64_t replayed_events_ = 0;
+  DegradedAccounting degraded_;
 };
 
 }  // namespace oosp

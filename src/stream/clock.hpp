@@ -54,6 +54,16 @@ class StreamClock {
   // K-slack contract violated iff some event was later than `slack`.
   bool contract_violated() const noexcept { return max_lateness_ > slack_; }
 
+  // Checkpoint support: raw state out / in (runtime/checkpoint.hpp).
+  Timestamp raw_clock() const noexcept { return clock_; }
+  void restore_state(Timestamp slack, Timestamp clock, Timestamp max_lateness,
+                     bool started) noexcept {
+    slack_ = slack;
+    clock_ = clock;
+    max_lateness_ = max_lateness;
+    started_ = started;
+  }
+
  private:
   Timestamp slack_;
   Timestamp clock_ = kMinTimestamp;

@@ -177,6 +177,42 @@ FaultChain& FaultChain::add(std::unique_ptr<FaultInjector> stage) {
   return *this;
 }
 
+WorkerKillFault::WorkerKillFault(std::vector<EventId> victims) {
+  state_->victims.insert(victims.begin(), victims.end());
+}
+
+WorkerKillFault::WorkerKillFault(double fraction, std::uint64_t seed)
+    : fraction_(fraction), seed_(seed), fraction_mode_(true) {
+  OOSP_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "fraction must be in [0,1]");
+}
+
+std::vector<Event> WorkerKillFault::apply(std::vector<Event> stream) {
+  stats_ = FaultStats{};
+  stats_.events_in = stream.size();
+  stats_.events_out = stream.size();
+  if (fraction_mode_) {
+    Rng rng(seed_);
+    std::lock_guard<std::mutex> lock(state_->mu);
+    for (const Event& e : stream)
+      if (rng.bernoulli(fraction_)) state_->victims.insert(e.id);
+  }
+  // The stream itself is untouched: the fault fires at the consumer,
+  // through hook(), not on the wire.
+  return stream;
+}
+
+WorkerKillHook WorkerKillFault::hook() const {
+  return [state = state_](const Event& e) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    return state->victims.erase(e.id) > 0;
+  };
+}
+
+std::size_t WorkerKillFault::victims_remaining() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->victims.size();
+}
+
 std::vector<Event> FaultChain::apply(std::vector<Event> stream) {
   stats_ = FaultStats{};
   stats_.events_in = stream.size();

@@ -18,7 +18,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -152,6 +156,63 @@ class OutageFault final : public FaultInjector {
  private:
   OutageConfig config_;
   Timestamp slack_bound_ = 0;
+};
+
+// Thrown by a shard worker when the kill hook selects the event it is
+// about to process — simulates the worker thread dying mid-stream.
+class WorkerKilled : public std::runtime_error {
+ public:
+  explicit WorkerKilled(EventId victim)
+      : std::runtime_error("worker killed at event " + std::to_string(victim)),
+        victim_(victim) {}
+  EventId victim() const noexcept { return victim_; }
+
+ private:
+  EventId victim_;
+};
+
+// Consulted by the sharded worker loop immediately before processing an
+// event; true = die now (the worker throws WorkerKilled). Must be
+// thread-safe: each shard worker calls it concurrently.
+using WorkerKillHook = std::function<bool(const Event&)>;
+
+// Machine-failure fault: crashes the worker thread that is about to
+// process a selected victim event. Unlike every other fault this one
+// does not mutate the stream — apply() passes events through unchanged
+// (selecting victims in fraction mode) — because the failure happens at
+// the CONSUMER: wire hook() into SessionConfig/RecoveryConfig and the
+// worker loop (and recovery replay — same processing path) throws
+// WorkerKilled on meeting a victim. Each victim fires exactly once, so
+// at most one incarnation or replay attempt dies per victim and
+// recovery converges — that is what makes it testable. A hook that
+// keeps firing models a deterministic poison event instead and exhausts
+// the restart budget.
+class WorkerKillFault final : public FaultInjector {
+ public:
+  // Kill whichever workers process these exact event ids.
+  explicit WorkerKillFault(std::vector<EventId> victims);
+  // Kill at a seeded `fraction` of the event ids seen by apply().
+  WorkerKillFault(double fraction, std::uint64_t seed);
+
+  std::vector<Event> apply(std::vector<Event> stream) override;
+  std::string_view name() const noexcept override { return "worker-kill"; }
+
+  // Thread-safe, fires-once-per-victim predicate for the worker loop.
+  // The hook shares the victim set: victims added by a later apply() are
+  // seen by hooks handed out earlier.
+  WorkerKillHook hook() const;
+
+  std::size_t victims_remaining() const;
+
+ private:
+  struct State {
+    mutable std::mutex mu;
+    std::set<EventId> victims;
+  };
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+  double fraction_ = 0.0;
+  std::uint64_t seed_ = 0;
+  bool fraction_mode_ = false;
 };
 
 // Applies its stages in order; stats() aggregates all of them.

@@ -68,6 +68,20 @@ class SlackEstimator {
 
   std::size_t samples() const noexcept { return samples_.size(); }
 
+  // Checkpoint support: raw ring state out / in (runtime/checkpoint.hpp).
+  // The config is NOT serialized — it comes from EngineOptions at
+  // construction, which restore validates separately.
+  const std::vector<Timestamp>& sample_ring() const noexcept { return samples_; }
+  std::size_t ring_next() const noexcept { return next_; }
+  std::size_t since_refresh() const noexcept { return since_refresh_; }
+  void restore_state(std::vector<Timestamp> samples, std::size_t next,
+                     std::size_t since_refresh, Timestamp estimate) {
+    samples_ = std::move(samples);
+    next_ = next;
+    since_refresh_ = since_refresh;
+    estimate_ = estimate;
+  }
+
  private:
   Timestamp clamp(Timestamp k) const noexcept {
     return std::min(config_.max_slack, std::max(config_.min_slack, k));
