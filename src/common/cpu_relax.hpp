@@ -1,0 +1,50 @@
+// CPU-friendly spin primitives for the SPSC hot paths.
+//
+// cpu_relax() issues the architecture's spin-wait hint (x86 PAUSE /
+// aarch64 YIELD) so a busy-waiting producer or idle worker stops
+// saturating the pipeline and, on SMT parts, yields issue slots to the
+// sibling thread actually making progress. SpinBackoff layers an
+// exponential pause ramp on top and falls back to the scheduler once the
+// wait is clearly not short — on the 1-core CI container the scheduler
+// fallback is what lets the consumer run at all.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+namespace oosp {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  // No spin hint on this target; SpinBackoff still yields eventually.
+#endif
+}
+
+// Usage: construct per wait-loop, call pause() on each failed attempt and
+// reset() after progress. Early rounds spin with a doubling number of
+// cpu_relax() hints (cheap, keeps latency low when the peer is about to
+// make room); after kYieldRounds the wait is long enough that burning the
+// timeslice is pure waste, so hand the core back to the scheduler.
+class SpinBackoff {
+ public:
+  void pause() noexcept {
+    if (round_ < kYieldRounds) {
+      for (std::uint32_t i = 1u << round_; i-- > 0;) cpu_relax();
+      ++round_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { round_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kYieldRounds = 6;  // 1+2+...+32 relaxes, then yield
+  std::uint32_t round_ = 0;
+};
+
+}  // namespace oosp

@@ -19,8 +19,11 @@
 //     intact rather than dropping).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -54,6 +57,27 @@ class SpscQueue {
     return true;
   }
 
+  // Producer side, bulk: moves as many leading elements of src into the
+  // ring as fit right now and returns that count (0 when full). One
+  // acquire (at most) and one release for the whole transaction, so a
+  // batch of n amortizes the shared-cache-line traffic n ways.
+  std::size_t try_push_n(std::span<T> src) {
+    if (src.empty()) return 0;
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free_slots = mask_ - ((tail - head_cache_) & mask_);
+    if (free_slots < src.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free_slots = mask_ - ((tail - head_cache_) & mask_);
+      if (free_slots == 0) return 0;
+    }
+    const std::size_t n = std::min(src.size(), free_slots);
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(tail + i) & mask_] = std::move(src[i]);
+    }
+    tail_.store((tail + n) & mask_, std::memory_order_release);
+    return n;
+  }
+
   // Consumer side. Returns false when the ring is empty.
   bool try_pop(T& out) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
@@ -64,6 +88,25 @@ class SpscQueue {
     out = std::move(slots_[head]);
     head_.store((head + 1) & mask_, std::memory_order_release);
     return true;
+  }
+
+  // Consumer side, bulk: moves up to max elements into out and returns
+  // the count (0 when empty). Symmetric with try_push_n.
+  std::size_t try_pop_n(T* out, std::size_t max) {
+    if (max == 0) return 0;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = (tail_cache_ - head) & mask_;
+    if (avail < max) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = (tail_cache_ - head) & mask_;
+      if (avail == 0) return 0;
+    }
+    const std::size_t n = std::min(max, avail);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::move(slots_[(head + i) & mask_]);
+    }
+    head_.store((head + n) & mask_, std::memory_order_release);
+    return n;
   }
 
   // Usable from either side (approximate under concurrency; exact once

@@ -31,8 +31,26 @@ KSlackEngine::KSlackEngine(EngineContext ctx, const EngineFactory& factory)
 }
 
 void KSlackEngine::on_event(const Event& e) {
-  ++stats_.events_seen;
-  EngineObs::inc(obs_.events);
+  const Event* one = &e;
+  on_batch(std::span<const Event* const>(&one, 1));
+}
+
+void KSlackEngine::on_batch(std::span<const Event* const> batch) {
+  if (batch.empty()) return;
+  stats_.events_seen += batch.size();
+  EngineObs::inc(obs_.events, batch.size());
+  for (const Event* e : batch) ingest(*e);
+  // One footprint sample per batch: inner_->stats_snapshot() copies the
+  // whole stats block, which dominated the per-event hot path. A batch of
+  // one samples at exactly the seed's point, so footprint_peak is
+  // unchanged for per-event feeding.
+  stats_.note_footprint(live() + admission_.quarantine_size() +
+                        inner_->stats_snapshot().footprint());
+  EngineObs::set(obs_.reorder_depth, static_cast<std::int64_t>(live()));
+  EngineObs::set(obs_.effective_slack, clock_.slack());
+}
+
+void KSlackEngine::ingest(const Event& e) {
   if (!admission_.admit(e)) return;
   const Timestamp lateness = clock_.observe(e);
   if (lateness > 0) {
@@ -59,39 +77,58 @@ void KSlackEngine::on_event(const Event& e) {
     // event would reach the inner engine out of order no matter what.
     ++stats_.contract_violations;
     EngineObs::inc(obs_.violations);
-    if (!admission_.admit_violation(e)) {
-      stats_.note_footprint(buffer_.size() + admission_.quarantine_size() +
-                            inner_->stats_snapshot().footprint());
-      return;
-    }
+    if (!admission_.admit_violation(e)) return;
   }
-  buffer_.push(e);
+  insert_sorted(e);
   stats_.note_buffered(1);
   release_up_to(clock_.now() - clock_.slack());
-  stats_.note_footprint(buffer_.size() + admission_.quarantine_size() +
-                        inner_->stats_snapshot().footprint());
-  EngineObs::set(obs_.reorder_depth, static_cast<std::int64_t>(buffer_.size()));
-  EngineObs::set(obs_.effective_slack, clock_.slack());
+}
+
+void KSlackEngine::insert_sorted(const Event& e) {
+  if (head_ == buffer_.size() || TsIdLess{}(buffer_.back(), e)) {
+    buffer_.push_back(e);  // in-order-dominant fast path
+    return;
+  }
+  const auto it =
+      std::lower_bound(buffer_.begin() + static_cast<std::ptrdiff_t>(head_),
+                       buffer_.end(), e, TsIdLess{});
+  buffer_.insert(it, e);
 }
 
 void KSlackEngine::release_up_to(Timestamp threshold) {
   release_watermark_ = std::max(release_watermark_, threshold);
-  while (!buffer_.empty() && buffer_.top().ts <= threshold) {
-    inner_->on_event(buffer_.top());
-    buffer_.pop();
-    stats_.note_unbuffered(1);
-    EngineObs::inc(obs_.releases);
+  std::size_t released = 0;
+  while (head_ < buffer_.size() && buffer_[head_].ts <= threshold) {
+    inner_->on_event(buffer_[head_]);
+    ++head_;
+    ++released;
+  }
+  if (released) {
+    stats_.note_unbuffered(released);
+    EngineObs::inc(obs_.releases, released);
+  }
+  // Lazy compaction: reclaim the released prefix only once it dominates
+  // the vector, so release stays amortized O(1) per event.
+  if (head_ >= 64 && head_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
   }
 }
 
 void KSlackEngine::finish() {
   // Drain WITHOUT raising the watermark: end-of-stream is not a release
   // decision future arrivals could violate.
-  while (!buffer_.empty()) {
-    inner_->on_event(buffer_.top());
-    buffer_.pop();
-    stats_.note_unbuffered(1);
-    EngineObs::inc(obs_.releases);
+  std::size_t released = 0;
+  while (head_ < buffer_.size()) {
+    inner_->on_event(buffer_[head_]);
+    ++head_;
+    ++released;
+  }
+  buffer_.clear();
+  head_ = 0;
+  if (released) {
+    stats_.note_unbuffered(released);
+    EngineObs::inc(obs_.releases, released);
   }
   inner_->finish();
   EngineObs::set(obs_.reorder_depth, 0);
@@ -104,14 +141,11 @@ void KSlackEngine::snapshot(CheckpointWriter& w) const {
   write_estimator(w, estimator_);
   write_admission(w, admission_);
   w.i64(release_watermark_);
-  // Draining a copy of the priority queue yields the canonical (ts, id)
-  // ascending order — deterministic because the comparator is total.
-  auto heap = buffer_;
-  w.u64(heap.size());
-  while (!heap.empty()) {
-    w.event(heap.top());
-    heap.pop();
-  }
+  // The live range is already in canonical (ts, id) ascending order —
+  // written in place, no copy. Byte format is unchanged from the heap
+  // era: count, then events ascending.
+  w.u64(live());
+  for (std::size_t i = head_; i < buffer_.size(); ++i) w.event(buffer_[i]);
   inner_->snapshot(w);
 }
 
@@ -122,9 +156,11 @@ void KSlackEngine::restore(CheckpointReader& r) {
   read_estimator(r, estimator_);
   read_admission(r, admission_);
   release_watermark_ = r.i64();
-  buffer_ = {};
+  buffer_.clear();
+  head_ = 0;
   const std::size_t n = r.count(8);
-  for (std::size_t i = 0; i < n; ++i) buffer_.push(r.event());
+  buffer_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) buffer_.push_back(r.event());
   inner_->restore(r);
 }
 

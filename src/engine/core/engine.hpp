@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/contracts.hpp"
@@ -154,6 +155,18 @@ class PatternEngine {
   PatternEngine& operator=(const PatternEngine&) = delete;
 
   virtual void on_event(const Event& e) = 0;
+
+  // Batched ingestion: `batch` holds pointers to events in ARRIVAL order
+  // (the runner delivers each engine only the events routed to it, hence
+  // pointers rather than a contiguous slice). The default is the trivial
+  // per-event loop; engines override it to amortize sorting, structure
+  // maintenance, sealing, and purging across the batch. Overrides must
+  // produce the same emitted output as the per-event loop — batching is
+  // a throughput lever, never a semantics change.
+  virtual void on_batch(std::span<const Event* const> batch) {
+    for (const Event* e : batch) on_event(*e);
+  }
+
   virtual void finish() {}
 
   virtual std::string name() const = 0;

@@ -6,6 +6,15 @@
 
 namespace oosp {
 
+namespace {
+
+inline bool entry_less(const NegativeBuffer::Entry& a,
+                       const NegativeBuffer::Entry& b) noexcept {
+  return a.ts < b.ts || (a.ts == b.ts && a.id < b.id);
+}
+
+}  // namespace
+
 NegativeBuffer::NegativeBuffer(const CompiledQuery& query, std::size_t step)
     : query_(query), step_(step) {
   const CompiledStep& s = query.step(step);
@@ -18,25 +27,30 @@ NegativeBuffer::NegativeBuffer(const CompiledQuery& query, std::size_t step)
   }
 }
 
-void NegativeBuffer::insert(const Event& e) {
-  if (events_.empty() || TsIdLess{}(events_.back(), e)) {
-    events_.push_back(e);
+void NegativeBuffer::insert(Timestamp ts, EventId id, EventHandle handle) {
+  const Entry e{ts, id, handle};
+  if (entries_.empty() || entry_less(entries_.back(), e)) {
+    entries_.push_back(e);
     return;
   }
-  const auto it = std::lower_bound(events_.begin(), events_.end(), e, TsIdLess{});
-  events_.insert(it, e);
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(), e, entry_less);
+  entries_.insert(it, e);
 }
 
-bool NegativeBuffer::violates(Timestamp lo, Timestamp hi,
+bool NegativeBuffer::violates(const EventArena& arena, Timestamp lo, Timestamp hi,
                               std::span<const Event*> bindings,
                               std::uint64_t& predicate_evals) const {
   if (lo >= hi) return false;
   // First candidate with ts > lo (strict interior).
-  auto it = std::lower_bound(events_.begin(), events_.end(), lo,
-                             [](const Event& e, Timestamp t) { return e.ts <= t; });
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), lo,
+                             [](const Entry& e, Timestamp t) { return e.ts <= t; });
   bool found = false;
-  for (; it != events_.end() && it->ts < hi; ++it) {
-    bindings[step_] = &*it;
+  for (; it != entries_.end() && it->ts < hi; ++it) {
+    if (check_predicates_.empty()) {
+      found = true;
+      break;
+    }
+    bindings[step_] = &arena.get(it->handle);
     bool ok = true;
     for (const std::size_t pi : check_predicates_) {
       ++predicate_evals;
@@ -54,11 +68,12 @@ bool NegativeBuffer::violates(Timestamp lo, Timestamp hi,
   return found;
 }
 
-std::size_t NegativeBuffer::purge_before(Timestamp threshold) {
-  const auto it = std::lower_bound(events_.begin(), events_.end(), threshold,
-                                   [](const Event& e, Timestamp t) { return e.ts < t; });
-  const auto n = static_cast<std::size_t>(it - events_.begin());
-  events_.erase(events_.begin(), it);
+std::size_t NegativeBuffer::purge_before(Timestamp threshold, EventArena& arena) {
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(), threshold,
+                                   [](const Entry& e, Timestamp t) { return e.ts < t; });
+  const auto n = static_cast<std::size_t>(it - entries_.begin());
+  for (auto p = entries_.begin(); p != it; ++p) arena.release(p->handle);
+  entries_.erase(entries_.begin(), it);
   return n;
 }
 

@@ -5,11 +5,16 @@
 // for a violating negative in the open interval (lo, hi) with the
 // remaining negation predicates evaluated against the match's positive
 // bindings.
+//
+// Entries are (ts, id, handle) keys into the owning engine's EventArena —
+// the interval scan in violates() walks 16-byte PODs and only touches the
+// arena event when a candidate needs predicate evaluation.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "common/event_arena.hpp"
 #include "event/event.hpp"
 #include "query/compiled.hpp"
 
@@ -17,35 +22,45 @@ namespace oosp {
 
 class NegativeBuffer {
  public:
+  struct Entry {
+    Timestamp ts = 0;
+    EventId id = 0;
+    EventHandle handle = kNullEventHandle;
+  };
+
   // `step` is the pattern index of the negated step this buffer serves.
   NegativeBuffer(const CompiledQuery& query, std::size_t step);
 
-  // Inserts in (ts, id) order; appending arrivals are O(1).
-  void insert(const Event& e);
+  // Inserts in (ts, id) order, taking over one arena reference for the
+  // handle; appending arrivals are O(1).
+  void insert(Timestamp ts, EventId id, EventHandle handle);
 
   // True iff a buffered negative with lo < ts < hi satisfies every
   // predicate referencing the negated step. `bindings` must have the
   // match's positive bindings filled; slot `step` is used as scratch and
   // restored to null. `predicate_evals` is incremented per evaluation.
-  bool violates(Timestamp lo, Timestamp hi, std::span<const Event*> bindings,
+  bool violates(const EventArena& arena, Timestamp lo, Timestamp hi,
+                std::span<const Event*> bindings,
                 std::uint64_t& predicate_evals) const;
 
-  // Removes events with ts < threshold; returns how many.
-  std::size_t purge_before(Timestamp threshold);
+  // Removes events with ts < threshold, releasing their arena
+  // references; returns how many.
+  std::size_t purge_before(Timestamp threshold, EventArena& arena);
 
-  std::size_t size() const noexcept { return events_.size(); }
+  std::size_t size() const noexcept { return entries_.size(); }
   std::size_t step() const noexcept { return step_; }
 
-  // Checkpoint support (runtime/checkpoint.hpp). events() is already in
-  // the canonical (ts, id) order; set_events() trusts its input to be.
-  const std::vector<Event>& events() const noexcept { return events_; }
-  void set_events(std::vector<Event> events) { events_ = std::move(events); }
+  // Checkpoint support (runtime/checkpoint.hpp). entries() is already in
+  // the canonical (ts, id) order; set_entries() trusts its input to be
+  // and to carry one arena reference per entry.
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+  void set_entries(std::vector<Entry> entries) { entries_ = std::move(entries); }
 
  private:
   const CompiledQuery& query_;
   std::size_t step_;
   std::vector<std::size_t> check_predicates_;  // preds referencing step_, minus locals
-  std::vector<Event> events_;                  // sorted by (ts, id)
+  std::vector<Entry> entries_;                 // sorted by (ts, id)
 };
 
 }  // namespace oosp

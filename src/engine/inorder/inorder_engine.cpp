@@ -87,7 +87,7 @@ void InOrderEngine::on_event(const Event& e) {
 void InOrderEngine::process_in_shard(Shard& shard, const Event& e, std::size_t step) {
   const std::size_t ord = ordinal_of_step_[step];
   if (query_.step(step).negated) {
-    shard.negatives[ord].insert(e);
+    shard.negatives[ord].insert(e.ts, e.id, arena_.alloc(e));
     stats_.note_buffered(1);
     return;
   }
@@ -160,7 +160,8 @@ void InOrderEngine::emit_candidate(Shard& shard) {
     const CompiledStep& s = query_.step(step_of_negated_[i]);
     const Timestamp lo = bindings_[s.prev_positive]->ts;
     const Timestamp hi = bindings_[s.next_positive]->ts;
-    if (shard.negatives[i].violates(lo, hi, bindings_, stats_.predicate_evals)) return;
+    if (shard.negatives[i].violates(arena_, lo, hi, bindings_, stats_.predicate_evals))
+      return;
   }
   Match m;
   m.events.reserve(step_of_positive_.size());
@@ -181,10 +182,10 @@ void InOrderEngine::write_shard(CheckpointWriter& w, const Shard& sh) const {
     }
   }
   w.u64(sh.negatives.size());
-  for (const NegativeBuffer& nb : sh.negatives) write_negative_buffer(w, nb);
+  for (const NegativeBuffer& nb : sh.negatives) write_negative_buffer(w, nb, arena_);
 }
 
-InOrderEngine::Shard InOrderEngine::read_shard(CheckpointReader& r) const {
+InOrderEngine::Shard InOrderEngine::read_shard(CheckpointReader& r) {
   r.expect_tag("shd");
   Shard sh = make_shard();
   if (r.count() != sh.stacks.size())
@@ -200,7 +201,7 @@ InOrderEngine::Shard InOrderEngine::read_shard(CheckpointReader& r) const {
   }
   if (r.count() != sh.negatives.size())
     throw CheckpointError("inorder checkpoint negation count disagrees with query");
-  for (NegativeBuffer& nb : sh.negatives) read_negative_buffer(r, nb);
+  for (NegativeBuffer& nb : sh.negatives) read_negative_buffer(r, nb, arena_);
   return sh;
 }
 
@@ -237,7 +238,9 @@ void InOrderEngine::restore(CheckpointReader& r) {
   events_since_purge_ = static_cast<std::size_t>(r.u64());
   if (r.boolean() != partitioned_)
     throw CheckpointError("inorder checkpoint partitioning disagrees with options");
+  arena_.clear();
   shards_.clear();
+  root_ = Shard{};
   if (!partitioned_) {
     root_ = read_shard(r);
     return;
@@ -290,7 +293,7 @@ void InOrderEngine::purge(Shard& shard, Timestamp threshold) {
     }
   }
   for (NegativeBuffer& nb : shard.negatives) {
-    const std::size_t removed = nb.purge_before(threshold);
+    const std::size_t removed = nb.purge_before(threshold, arena_);
     if (removed) {
       stats_.note_unbuffered(removed);
       EngineObs::inc(obs_.purged, removed);

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/event_arena.hpp"
 #include "engine/core/admission.hpp"
 #include "engine/core/engine.hpp"
 #include "engine/core/negative_buffer.hpp"
@@ -56,7 +57,7 @@ class InOrderEngine final : public PatternEngine {
   Shard make_shard() const;
   Shard& shard_for(const Value& key);
   void write_shard(CheckpointWriter& w, const Shard& sh) const;
-  Shard read_shard(CheckpointReader& r) const;
+  Shard read_shard(CheckpointReader& r);
   void process_in_shard(Shard& shard, const Event& e, std::size_t step);
   void construct(Shard& shard, const Instance& trigger);
   void descend(Shard& shard, std::size_t ordinal, std::size_t rip_limit,
@@ -67,6 +68,9 @@ class InOrderEngine final : public PatternEngine {
 
   StreamClock clock_;
   AdmissionControl admission_{options_, stats_};
+  // Backing store for negation-buffer entries (stacks keep whole events:
+  // construction binds them constantly, the indirection would not pay).
+  EventArena arena_;
   bool partitioned_ = false;
   std::vector<std::size_t> ordinal_of_step_;   // pattern step → ordinal in its class
   std::vector<std::size_t> step_of_positive_;  // positive ordinal → pattern step

@@ -63,7 +63,7 @@ void NfaEngine::on_event(const Event& e) {
     for (auto it = matched.rbegin(); it != matched.rend(); ++it) {
       const std::size_t step = *it;
       if (query_.step(step).negated) {
-        negatives_[ordinal_of_step_[step]].insert(e);
+        negatives_[ordinal_of_step_[step]].insert(e.ts, e.id, arena_.alloc(e));
         stats_.note_buffered(1);
       } else {
         try_extend(ordinal_of_step_[step], e);
@@ -132,7 +132,8 @@ void NfaEngine::complete(const Run& run, const Event& last) {
     const CompiledStep& s = query_.step(step_of_negated_[i]);
     const Timestamp lo = bindings_[s.prev_positive]->ts;
     const Timestamp hi = bindings_[s.next_positive]->ts;
-    negated_away = negatives_[i].violates(lo, hi, bindings_, stats_.predicate_evals);
+    negated_away =
+        negatives_[i].violates(arena_, lo, hi, bindings_, stats_.predicate_evals);
   }
   if (!negated_away) {
     Match m;
@@ -161,7 +162,7 @@ void NfaEngine::snapshot(CheckpointWriter& w) const {
     }
   }
   w.u64(negatives_.size());
-  for (const NegativeBuffer& nb : negatives_) write_negative_buffer(w, nb);
+  for (const NegativeBuffer& nb : negatives_) write_negative_buffer(w, nb, arena_);
 }
 
 void NfaEngine::restore(CheckpointReader& r) {
@@ -185,7 +186,8 @@ void NfaEngine::restore(CheckpointReader& r) {
   }
   if (r.count() != negatives_.size())
     throw CheckpointError("nfa checkpoint negation count disagrees with query");
-  for (NegativeBuffer& nb : negatives_) read_negative_buffer(r, nb);
+  arena_.clear();
+  for (NegativeBuffer& nb : negatives_) read_negative_buffer(r, nb, arena_);
 }
 
 void NfaEngine::maybe_purge() {
@@ -209,7 +211,7 @@ void NfaEngine::maybe_purge() {
     }
   }
   for (NegativeBuffer& nb : negatives_) {
-    const std::size_t removed = nb.purge_before(threshold);
+    const std::size_t removed = nb.purge_before(threshold, arena_);
     if (removed) {
       stats_.note_unbuffered(removed);
       EngineObs::inc(obs_.purged, removed);

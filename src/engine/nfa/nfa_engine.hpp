@@ -17,6 +17,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/event_arena.hpp"
 #include "engine/core/admission.hpp"
 #include "engine/core/engine.hpp"
 #include "engine/core/negative_buffer.hpp"
@@ -45,6 +46,9 @@ class NfaEngine final : public PatternEngine {
 
   StreamClock clock_;
   AdmissionControl admission_{options_, stats_};
+  // Backing store for negation-buffer entries (runs keep whole events:
+  // they are copied per extension anyway).
+  EventArena arena_;
   std::vector<std::size_t> step_of_positive_;
   std::vector<std::size_t> step_of_negated_;
   std::vector<std::size_t> ordinal_of_step_;

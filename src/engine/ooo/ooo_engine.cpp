@@ -97,46 +97,126 @@ void OooEngine::maybe_grow_slack() {
 }
 
 void OooEngine::on_event(const Event& e) {
-  ++stats_.events_seen;
-  EngineObs::inc(obs_.events);
-  if (!admission_.admit(e)) return;
-  const Timestamp lateness = clock_.observe(e);
-  if (lateness > 0) {
-    ++stats_.late_events;
-    EngineObs::inc(obs_.late);
-  }
-  if (options_.adaptive_slack) {
-    estimator_.observe(lateness);
-    maybe_grow_slack();
-  }
-  seal_watermark_ = std::max(seal_watermark_, clock_.seal_point());
-  if (e.ts <= seal_watermark_) {
-    // The effective contract is broken: seal/purge decisions at or above
-    // this timestamp are already final. LatePolicy decides its fate.
-    ++stats_.contract_violations;
-    EngineObs::inc(obs_.violations);
-    if (!admission_.admit_violation(e)) {
-      process_pending();
-      stats_.note_footprint(stats_.footprint() + admission_.quarantine_size());
-      return;
+  const Event* one = &e;
+  on_batch(std::span<const Event* const>(&one, 1));
+}
+
+void OooEngine::on_batch(std::span<const Event* const> batch) {
+  if (batch.empty()) return;
+  stats_.events_seen += batch.size();
+  EngineObs::inc(obs_.events, batch.size());
+
+  // Phase A — arrival order: admission, clock observation, adaptive
+  // growth, and the contract-violation policy are taken per event exactly
+  // as the per-event path would, so the admitted multiset is identical
+  // for any batching of the same arrival sequence.
+  batch_admitted_.clear();
+  for (const Event* pe : batch) {
+    const Event& e = *pe;
+    if (!admission_.admit(e)) continue;
+    const Timestamp lateness = clock_.observe(e);
+    if (lateness > 0) {
+      ++stats_.late_events;
+      EngineObs::inc(obs_.late);
+    }
+    if (options_.adaptive_slack) {
+      estimator_.observe(lateness);
+      maybe_grow_slack();
+    }
+    seal_watermark_ = std::max(seal_watermark_, clock_.seal_point());
+    if (e.ts <= seal_watermark_) {
+      // The effective contract is broken: seal/purge decisions at or
+      // above this timestamp are already final. LatePolicy decides its
+      // fate.
+      ++stats_.contract_violations;
+      EngineObs::inc(obs_.violations);
+      if (!admission_.admit_violation(e)) continue;
+    }
+    batch_admitted_.push_back(AdmittedEvent{pe, seal_watermark_});
+    // Purge cadence is observable state: resolution consults the
+    // negation buffers, so WHICH watermark a purge ran at changes what a
+    // later seal sees. Count exactly the events the per-event path
+    // counted (admitted, including policy-admitted violations) and
+    // record the watermark in effect at the crossing; the batch tail
+    // replays the passes in order. Slack shrinks belong to the cadence
+    // point too, so the recorded horizon matches per-event behaviour.
+    if (options_.purge_period != 0 &&
+        ++events_since_purge_ >= options_.purge_period) {
+      events_since_purge_ = 0;
+      apply_adaptive_shrink();
+      batch_purge_marks_.push_back(seal_watermark_);
     }
   }
-  for (const std::size_t step : query_.steps_for_type(e.type)) {
-    if (!passes_local(step, e)) continue;
-    const Value key =
-        partitioned_ ? e.attr(query_.partition_slots()[step]) : Value{};
-    Shard& shard = shard_for(key);
-    if (query_.step(step).negated) {
-      shard.negatives[ordinal_of_step_[step]].insert(e);
-      stats_.note_buffered(1);
-      if (options_.aggressive_negation) handle_late_negative(key, e, step);
-    } else {
-      insert_positive(shard, key, e, step);
+
+  // Phase B — canonical intra-batch order. Construction anchors a match
+  // at its last-inserted constituent; the match set is invariant under
+  // the insertion order of a fixed event multiset, so sorting changes
+  // nothing semantically while making the splice pattern append-heavy
+  // and the staged RIP bump lists ascending.
+  std::sort(batch_admitted_.begin(), batch_admitted_.end(),
+            [](const AdmittedEvent& a, const AdmittedEvent& b) {
+              return TsIdLess{}(*a.e, *b.e);
+            });
+
+  // Phase C — splice and construct.
+  for (const AdmittedEvent& ae : batch_admitted_) {
+    const Event& e = *ae.e;
+    arrival_watermark_ = ae.wm;
+    const auto& steps = query_.steps_for_type(e.type);
+    if (!steps.empty()) ++stats_.events_relevant;
+    EventHandle h = kNullEventHandle;  // allocated on first accepting step
+    for (const std::size_t step : steps) {
+      if (!passes_local(step, e)) continue;
+      const Value key =
+          partitioned_ ? e.attr(query_.partition_slots()[step]) : Value{};
+      Shard& shard = shard_for(key);
+      if (h == kNullEventHandle) {
+        h = arena_.alloc(e);
+      } else {
+        arena_.retain(h);
+      }
+      if (query_.step(step).negated) {
+        shard.negatives[ordinal_of_step_[step]].insert(e.ts, e.id, h);
+        stats_.note_buffered(1);
+        if (options_.aggressive_negation) handle_late_negative(key, e, step);
+      } else {
+        insert_positive(shard, key, e, h, step);
+      }
     }
   }
-  if (!query_.steps_for_type(e.type).empty()) ++stats_.events_relevant;
+  flush_all_rips();
+
+  // Seal/purge replay. Deferring sealing itself is sound: an interval an
+  // earlier event's watermark sealed cannot gain an in-contract negative
+  // from a later event (its ts would exceed the watermark). But a match
+  // that sealed BETWEEN two purge passes must be resolved against the
+  // buffer state between them — purging first with a later watermark
+  // could drop a violating negative the per-event path still saw.
+  // Replaying "resolve up to the mark, then purge at the mark" for each
+  // cadence crossing Phase A recorded reproduces the per-event
+  // interleaving exactly; in-contract events inserted later in the batch
+  // sit above every recorded horizon and perturb neither step.
+  // A pass at mark m is observable only through resolutions that occur
+  // after it and before the next pass — i.e. entries due at a watermark
+  // <= the next mark. With nothing due in that gap, the next pass (a
+  // deeper horizon; purge state depends only on inserts and the deepest
+  // threshold applied) subsumes this one, so skip it. The final mark
+  // always runs: it is the purge state the next batch starts from.
+  const auto next_due = [this]() -> Timestamp {
+    Timestamp t = kMaxTimestamp;
+    if (!pending_.empty()) t = std::min(t, pending_.top().seal_ts);
+    if (!unsealed_emitted_.empty())
+      t = std::min(t, unsealed_emitted_.front().seal_ts);
+    return t;
+  };
+  for (std::size_t i = 0; i < batch_purge_marks_.size(); ++i) {
+    const bool last = i + 1 == batch_purge_marks_.size();
+    if (!last && next_due() - 1 > batch_purge_marks_[i + 1]) continue;
+    process_pending_up_to(batch_purge_marks_[i]);
+    purge_pass(batch_purge_marks_[i]);
+  }
+  batch_purge_marks_.clear();
   process_pending();
-  maybe_purge(false);
   stats_.note_footprint(stats_.footprint() + admission_.quarantine_size());
   EngineObs::set(obs_.footprint, static_cast<std::int64_t>(stats_.footprint()));
   EngineObs::set(obs_.effective_slack, clock_.slack());
@@ -148,20 +228,50 @@ EngineStats OooEngine::stats_snapshot() const {
   return s;
 }
 
+void OooEngine::stage_rip_bump(Shard& shard, std::size_t stack, Timestamp ts) {
+  if (shard.pending_bumps.empty()) shard.pending_bumps.resize(shard.stacks.size());
+  shard.pending_bumps[stack].push_back(ts);
+  if (!shard.rip_dirty) {
+    shard.rip_dirty = true;
+    rip_dirty_shards_.push_back(&shard);
+  }
+}
+
+void OooEngine::flush_stack_rips(Shard& shard, std::size_t stack) {
+  if (shard.pending_bumps.empty()) return;
+  auto& pend = shard.pending_bumps[stack];
+  if (pend.empty()) return;
+  shard.stacks[stack].bump_rips_batch(pend);
+  pend.clear();
+}
+
+void OooEngine::flush_all_rips() {
+  for (Shard* sh : rip_dirty_shards_) {
+    for (std::size_t s = 1; s < sh->stacks.size(); ++s) flush_stack_rips(*sh, s);
+    sh->rip_dirty = false;
+  }
+  rip_dirty_shards_.clear();
+}
+
 void OooEngine::insert_positive(Shard& shard, const Value& key, const Event& e,
-                                std::size_t step) {
+                                EventHandle handle, std::size_t step) {
   const std::size_t a = ordinal_of_step_[step];
   SortedStack& stack = shard.stacks[a];
-  const std::size_t idx = stack.insert(e);
+  // Settle bumps targeting this stack first: they belong to inserts that
+  // preceded e, and e's own fresh rip must not be double-counted by a
+  // later flush.
+  if (options_.cache_rip && a > 0) flush_stack_rips(shard, a);
+  const std::size_t idx = stack.insert(e.ts, e.id, handle);
   stats_.note_instance_added();
   trace_span(a == 0 ? TraceKind::kStart : TraceKind::kStep, e.ts, clock_.now(),
              nullptr, &e);
   if (options_.cache_rip) {
     stack[idx].rip = a == 0 ? 0 : shard.stacks[a - 1].count_ts_below(e.ts);
-    if (a + 1 < shard.stacks.size()) {
-      SortedStack& next = shard.stacks[a + 1];
-      next.bump_rips_from(next.first_ts_above(e.ts), 1);
-    }
+    if (a + 1 < shard.stacks.size()) stage_rip_bump(shard, a + 1, e.ts);
+    // The left phase descends through stacks a−1…1 reading cached rips;
+    // settle those before constructing. (The anchor's own rip is fresh,
+    // and the right phase never reads rips.)
+    for (std::size_t s = 1; s < a; ++s) flush_stack_rips(shard, s);
   }
   construct_anchored(shard, key, a, idx);
 }
@@ -170,7 +280,7 @@ void OooEngine::construct_anchored(Shard& shard, const Value& key,
                                    std::size_t anchor_ordinal, std::size_t anchor_index) {
   const OooInstance& anchor = shard.stacks[anchor_ordinal][anchor_index];
   const std::size_t anchor_step = step_of_positive_[anchor_ordinal];
-  bindings_[anchor_step] = &anchor.event;
+  bindings_[anchor_step] = &arena_.get(anchor.handle);
   ++stats_.construction_visits;
   // Multi-step predicates are never ready at position 0, so descend
   // straight away.
@@ -196,13 +306,13 @@ void OooEngine::left_phase(Shard& shard, const Value& key, std::size_t ordinal,
   // the right phase against the actual first binding).
   const std::size_t ub = options_.cache_rip
                              ? successor.rip
-                             : stack.count_ts_below(successor.event.ts);
+                             : stack.count_ts_below(successor.ts);
   const std::size_t floor = stack.count_ts_below(anchor_ts - query_.window());
   const std::size_t sched_pos = anchor_ordinal - ordinal;
   for (std::size_t v = ub; v-- > floor;) {
     const OooInstance& inst = stack[v];
     ++stats_.construction_visits;
-    bindings_[step] = &inst.event;
+    bindings_[step] = &arena_.get(inst.handle);
     bool ok = true;
     for (const std::size_t pi : anchored_schedule_[anchor_ordinal][sched_pos]) {
       ++stats_.predicate_evals;
@@ -233,9 +343,9 @@ void OooEngine::right_phase(Shard& shard, const Value& key, std::size_t ordinal,
   const Timestamp ceiling = first_ts + query_.window();
   for (std::size_t v = stack.first_ts_above(prev_ts); v < stack.size(); ++v) {
     const OooInstance& inst = stack[v];
-    if (inst.event.ts > ceiling) break;  // sorted: all further fail the window
+    if (inst.ts > ceiling) break;  // sorted: all further fail the window
     ++stats_.construction_visits;
-    bindings_[step] = &inst.event;
+    bindings_[step] = &arena_.get(inst.handle);
     bool ok = true;
     for (const std::size_t pi : anchored_schedule_[anchor_ordinal][ordinal]) {
       ++stats_.predicate_evals;
@@ -273,7 +383,7 @@ void OooEngine::complete_candidate(Shard& shard, const Value& key,
   m.events.reserve(step_of_positive_.size());
   for (const std::size_t p : step_of_positive_) m.events.push_back(*bindings_[p]);
 
-  if (checks.empty() || sealed(seal_ts)) {
+  if (checks.empty() || sealed_at_arrival(seal_ts)) {
     m.detection_clock = clock_.now();
     EngineObs::observe(obs_.latency_wall_us, 0);  // emitted within the arrival call
     emit(std::move(m));
@@ -281,9 +391,13 @@ void OooEngine::complete_candidate(Shard& shard, const Value& key,
   }
   if (options_.aggressive_negation) {
     // Optimistic emission: report now, remember the match while it is
-    // still revocable so a late negative can retract it.
+    // still revocable so a late negative can retract it. Keep the list
+    // ordered by seal_ts (insert after equal keys — stable).
     m.detection_clock = clock_.now();
-    unsealed_emitted_.push_back(PendingMatch{m, std::move(checks), seal_ts, key});
+    const auto it = std::upper_bound(
+        unsealed_emitted_.begin(), unsealed_emitted_.end(), seal_ts,
+        [](Timestamp t, const PendingMatch& pm) { return t < pm.seal_ts; });
+    unsealed_emitted_.insert(it, PendingMatch{m, std::move(checks), seal_ts, key});
     stats_.note_pending_added();
     EngineObs::observe(obs_.latency_wall_us, 0);
     emit(std::move(m));
@@ -298,8 +412,14 @@ void OooEngine::complete_candidate(Shard& shard, const Value& key,
 void OooEngine::handle_late_negative(const Value& key, const Event& e,
                                      std::size_t step) {
   const std::size_t ordinal = ordinal_of_step_[step];
-  for (std::size_t i = 0; i < unsealed_emitted_.size();) {
-    PendingMatch& pm = unsealed_emitted_[i];
+  // A victim needs e.ts strictly inside some interval (lo, hi), and
+  // hi <= seal_ts, so only entries with seal_ts > e.ts qualify — the
+  // ordered list makes that a suffix.
+  auto it = std::upper_bound(
+      unsealed_emitted_.begin(), unsealed_emitted_.end(), e.ts,
+      [](Timestamp t, const PendingMatch& pm) { return t < pm.seal_ts; });
+  while (it != unsealed_emitted_.end()) {
+    PendingMatch& pm = *it;
     bool retract = false;
     if (!partitioned_ || pm.shard_key == key) {
       for (const NegCheck& c : pm.checks) {
@@ -321,14 +441,13 @@ void OooEngine::handle_late_negative(const Value& key, const Event& e,
     }
     if (retract) {
       trace_span(TraceKind::kRetract, pm.match.last_ts(), clock_.now(), &pm.match, &e);
-      sink_.on_retract(unsealed_emitted_[i].match);
+      sink_.on_retract(pm.match);
       ++stats_.matches_retracted;
       EngineObs::inc(obs_.retractions);
       --stats_.pending_matches;
-      unsealed_emitted_[i] = std::move(unsealed_emitted_.back());
-      unsealed_emitted_.pop_back();
+      it = unsealed_emitted_.erase(it);
     } else {
-      ++i;
+      ++it;
     }
   }
 }
@@ -336,14 +455,24 @@ void OooEngine::handle_late_negative(const Value& key, const Event& e,
 bool OooEngine::violated_now(Shard& shard, const std::vector<NegCheck>& checks,
                              std::span<const Event*> bindings) {
   for (const NegCheck& c : checks) {
-    if (shard.negatives[c.ordinal].violates(c.lo, c.hi, bindings, stats_.predicate_evals))
+    if (shard.negatives[c.ordinal].violates(arena_, c.lo, c.hi, bindings,
+                                            stats_.predicate_evals))
       return true;
   }
   return false;
 }
 
-void OooEngine::process_pending() {
-  while (!pending_.empty() && clock_.started() && sealed(pending_.top().seal_ts)) {
+void OooEngine::process_pending() { process_pending_up_to(seal_watermark_); }
+
+void OooEngine::process_pending_up_to(Timestamp watermark) {
+  // Same sealing rule as sealed(), evaluated against a possibly earlier
+  // watermark: replaying a mid-batch cadence point must not resolve
+  // matches that per-event would still have been pending at that moment.
+  const auto sealed_at = [watermark](Timestamp interval_end) {
+    return watermark >= interval_end - 1;
+  };
+  while (!pending_.empty() && clock_.started() &&
+         sealed_at(pending_.top().seal_ts)) {
     PendingMatch pm = pending_.top();
     pending_.pop();
     --stats_.pending_matches;
@@ -351,11 +480,16 @@ void OooEngine::process_pending() {
   }
   if (!unsealed_emitted_.empty() && clock_.started()) {
     // Sealed entries are final — no retraction can reach them anymore.
-    const auto removed = std::erase_if(unsealed_emitted_, [&](const PendingMatch& pm) {
-      if (!sealed(pm.seal_ts)) return false;
+    // sealed_at() is monotone in seal_ts, so they form a prefix of the
+    // ordered list: pop it instead of sweeping everything.
+    std::size_t removed = 0;
+    while (!unsealed_emitted_.empty() &&
+           sealed_at(unsealed_emitted_.front().seal_ts)) {
+      const PendingMatch& pm = unsealed_emitted_.front();
       trace_span(TraceKind::kSeal, pm.match.last_ts(), clock_.now(), &pm.match);
-      return true;
-    });
+      unsealed_emitted_.pop_front();
+      ++removed;
+    }
     stats_.pending_matches -= removed;
     EngineObs::inc(obs_.seals, removed);
   }
@@ -398,29 +532,27 @@ void OooEngine::finish() {
   // delivered, nothing left to do beyond dropping the revocation state.
   stats_.pending_matches -= unsealed_emitted_.size();
   unsealed_emitted_.clear();
-  maybe_purge(true);
+  apply_adaptive_shrink();
+  purge_pass(seal_watermark_);
 }
 
-void OooEngine::maybe_purge(bool force) {
-  if (!force) {
-    if (options_.purge_period == 0) return;
-    if (++events_since_purge_ < options_.purge_period) return;
-    events_since_purge_ = 0;
-  }
-  if (!clock_.started()) return;
+void OooEngine::apply_adaptive_shrink() {
+  if (!options_.adaptive_slack || !clock_.started()) return;
   // A purge pass is the only point where the effective slack may SHRINK:
   // growing mid-stream is always safe (it merely defers future purges),
   // but shrinking advances the horizon, and doing that between purges
   // would let sealing race ahead of the state the estimator said was
   // still needed. The watermark keeps the resize monotone either way.
-  if (options_.adaptive_slack) {
-    const Timestamp est = estimator_.estimate();
-    if (est < clock_.slack()) {
-      clock_.set_slack(est);
-      ++stats_.slack_shrinks;
-    }
-    seal_watermark_ = std::max(seal_watermark_, clock_.seal_point());
+  const Timestamp est = estimator_.estimate();
+  if (est < clock_.slack()) {
+    clock_.set_slack(est);
+    ++stats_.slack_shrinks;
   }
+  seal_watermark_ = std::max(seal_watermark_, clock_.seal_point());
+}
+
+void OooEngine::purge_pass(Timestamp horizon) {
+  if (!clock_.started()) return;
   // See DESIGN.md §3.3: any future admitted event has ts > seal
   // watermark, and all match elements fit in a window of width W, so
   // positive state below watermark − W + 1 is dead. Negatives are
@@ -429,11 +561,12 @@ void OooEngine::maybe_purge(bool force) {
   // of interval bounds. (With a fixed K this is exactly the paper's
   // clock − K − W horizon; deriving it from the monotone watermark keeps
   // adaptive resizes safe — the horizon never moves backwards and never
-  // overtakes a sealing decision.)
+  // overtakes a sealing decision.) `horizon` is the watermark at the
+  // cadence crossing being replayed — the current one at finish().
   const Timestamp pos_threshold =
-      seal_watermark_ < kMinTimestamp + query_.window()
+      horizon < kMinTimestamp + query_.window()
           ? kMinTimestamp + 1
-          : seal_watermark_ - query_.window() + 1;
+          : horizon - query_.window() + 1;
   const Timestamp neg_threshold = pos_threshold - 1;
   ++stats_.purge_passes;
   EngineObs::inc(obs_.purge_passes);
@@ -459,15 +592,15 @@ void OooEngine::write_shard(CheckpointWriter& w, const Shard& sh) const {
   for (const SortedStack& st : sh.stacks) {
     w.u64(st.size());
     for (std::size_t i = 0; i < st.size(); ++i) {
-      w.event(st[i].event);
+      w.event(arena_.get(st[i].handle));
       w.u64(st[i].rip);
     }
   }
   w.u64(sh.negatives.size());
-  for (const NegativeBuffer& nb : sh.negatives) write_negative_buffer(w, nb);
+  for (const NegativeBuffer& nb : sh.negatives) write_negative_buffer(w, nb, arena_);
 }
 
-OooEngine::Shard OooEngine::read_shard(CheckpointReader& r) const {
+OooEngine::Shard OooEngine::read_shard(CheckpointReader& r) {
   r.expect_tag("shd");
   Shard sh = make_shard();
   if (r.count() != sh.stacks.size())
@@ -477,15 +610,15 @@ OooEngine::Shard OooEngine::read_shard(CheckpointReader& r) const {
     std::vector<OooInstance> items;
     items.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      Event e = r.event();
+      const Event e = r.event();
       const std::size_t rip = static_cast<std::size_t>(r.u64());
-      items.push_back(OooInstance{std::move(e), rip});
+      items.push_back(OooInstance{e.ts, e.id, arena_.alloc(e), rip});
     }
     st.set_items(std::move(items));
   }
   if (r.count() != sh.negatives.size())
     throw CheckpointError("ooo checkpoint negation count disagrees with query");
-  for (NegativeBuffer& nb : sh.negatives) read_negative_buffer(r, nb);
+  for (NegativeBuffer& nb : sh.negatives) read_negative_buffer(r, nb, arena_);
   return sh;
 }
 
@@ -564,8 +697,8 @@ void OooEngine::snapshot(CheckpointWriter& w) const {
   });
   w.u64(pend.size());
   for (const PendingMatch& pm : pend) write_pending(w, pm);
-  // unsealed_emitted_ order is deterministic (single-threaded
-  // swap-remove); preserve verbatim.
+  // unsealed_emitted_ is kept in deterministic (seal_ts, insertion)
+  // order; preserve verbatim.
   w.u64(unsealed_emitted_.size());
   for (const PendingMatch& pm : unsealed_emitted_) write_pending(w, pm);
 }
@@ -582,6 +715,9 @@ void OooEngine::restore(CheckpointReader& r) {
     throw CheckpointError("ooo checkpoint partitioning disagrees with options");
   if (r.boolean() != options_.cache_rip)
     throw CheckpointError("ooo checkpoint cache_rip disagrees with options");
+  // Structures are rebuilt wholesale; every live handle dies with them.
+  rip_dirty_shards_.clear();
+  arena_.clear();
   shards_.clear();
   if (partitioned_) {
     const std::size_t n = r.count();
@@ -599,7 +735,6 @@ void OooEngine::restore(CheckpointReader& r) {
   for (std::size_t i = 0; i < n_pending; ++i) pending_.push(read_pending(r));
   unsealed_emitted_.clear();
   const std::size_t n_unsealed = r.count();
-  unsealed_emitted_.reserve(n_unsealed);
   for (std::size_t i = 0; i < n_unsealed; ++i) unsealed_emitted_.push_back(read_pending(r));
 }
 
@@ -607,7 +742,7 @@ void OooEngine::purge_shard(Shard& shard, Timestamp pos_threshold,
                             Timestamp neg_threshold) {
   std::size_t removed_prev = 0;
   for (std::size_t k = 0; k < shard.stacks.size(); ++k) {
-    const std::size_t removed = shard.stacks[k].purge_before(pos_threshold);
+    const std::size_t removed = shard.stacks[k].purge_before(pos_threshold, arena_);
     if (removed) {
       stats_.note_instances_removed(removed);
       EngineObs::inc(obs_.purged, removed);
@@ -619,7 +754,7 @@ void OooEngine::purge_shard(Shard& shard, Timestamp pos_threshold,
     removed_prev = removed;
   }
   for (NegativeBuffer& nb : shard.negatives) {
-    const std::size_t removed = nb.purge_before(neg_threshold);
+    const std::size_t removed = nb.purge_before(neg_threshold, arena_);
     if (removed) {
       stats_.note_unbuffered(removed);
       EngineObs::inc(obs_.purged, removed);

@@ -37,6 +37,17 @@
 //    immediately (only delays future sealing/purging — always safe),
 //    shrink waits for the next purge boundary.
 //
+//  * Batched ingestion (on_batch): admission, clock observation, and
+//    contract decisions run per event in ARRIVAL order (identical to the
+//    per-event path), then the admitted slice is sorted by (ts, id) and
+//    spliced in with RIP maintenance amortized across the batch (bump
+//    passes are staged per stack and flushed lazily: a stack's pending
+//    bumps apply before anything reads its RIPs or inserts into it).
+//    Sealing and purging run once per batch. on_event() is a batch of
+//    one, so there is a single code path and the per-event guarantees
+//    carry over verbatim. Events live in a pooled EventArena; stacks and
+//    negation buffers hold refcounted 32-bit handles.
+//
 // Options honoured: slack (K), purge_period, partition_by_key (hash
 // partition all state by the query's equi-join key), cache_rip
 // (incrementally maintained RIPs instead of per-construction binary
@@ -45,11 +56,14 @@
 #pragma once
 
 #include <chrono>
+#include <deque>
 #include <optional>
 #include <queue>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/event_arena.hpp"
 #include "engine/core/admission.hpp"
 #include "engine/core/engine.hpp"
 #include "engine/core/negative_buffer.hpp"
@@ -64,6 +78,7 @@ class OooEngine final : public PatternEngine {
   explicit OooEngine(EngineContext ctx);
 
   void on_event(const Event& e) override;
+  void on_batch(std::span<const Event* const> batch) override;
   void finish() override;
   std::string name() const override {
     return options_.aggressive_negation ? "ooo-aggressive" : "ooo-native";
@@ -79,6 +94,12 @@ class OooEngine final : public PatternEngine {
   struct Shard {
     std::vector<SortedStack> stacks;        // per positive ordinal
     std::vector<NegativeBuffer> negatives;  // per negated ordinal
+    // Batched RIP maintenance: pending_bumps[s] holds the timestamps of
+    // this batch's inserts into stack s−1 whose +1 bump of stack s has
+    // not been applied yet (ascending — phase C runs in (ts, id) order).
+    // Lazily sized on first use; empty between batches.
+    std::vector<std::vector<Timestamp>> pending_bumps;
+    bool rip_dirty = false;  // registered in rip_dirty_shards_
   };
 
   struct NegCheck {
@@ -107,12 +128,13 @@ class OooEngine final : public PatternEngine {
   Shard& shard_for(const Value& key);
   Shard* find_shard(const Value& key);
   void write_shard(CheckpointWriter& w, const Shard& sh) const;
-  Shard read_shard(CheckpointReader& r) const;
+  Shard read_shard(CheckpointReader& r);
   static void write_pending(CheckpointWriter& w, const PendingMatch& pm);
   static PendingMatch read_pending(CheckpointReader& r);
 
   bool passes_local(std::size_t step, const Event& e);
-  void insert_positive(Shard& shard, const Value& key, const Event& e, std::size_t step);
+  void insert_positive(Shard& shard, const Value& key, const Event& e,
+                       EventHandle handle, std::size_t step);
   void construct_anchored(Shard& shard, const Value& key, std::size_t anchor_ordinal,
                           std::size_t anchor_index);
   void left_phase(Shard& shard, const Value& key, std::size_t ordinal,
@@ -123,12 +145,30 @@ class OooEngine final : public PatternEngine {
   bool violated_now(Shard& shard, const std::vector<NegCheck>& checks,
                     std::span<const Event*> bindings);
   void process_pending();
+  // Resolve pending/unsealed matches whose intervals were sealed by the
+  // given watermark (not necessarily the current one) — used to replay
+  // per-event seal points inside a batch.
+  void process_pending_up_to(Timestamp watermark);
   void resolve_pending(PendingMatch&& pm);
   // Aggressive policy: a late negative may invalidate an already-emitted,
   // not-yet-sealed match — find the victims and issue retractions.
   void handle_late_negative(const Value& key, const Event& e, std::size_t step);
-  void maybe_purge(bool force);
+  // Adaptive K shrink — legal only at purge cadence points (see the
+  // comment in the implementation); no-op when adaptive slack is off.
+  void apply_adaptive_shrink();
+  // One purge pass with thresholds derived from `horizon` — the seal
+  // watermark in effect when the purge-period counter crossed, which in
+  // a batch may be earlier than the current watermark.
+  void purge_pass(Timestamp horizon);
   void purge_shard(Shard& shard, Timestamp pos_threshold, Timestamp neg_threshold);
+
+  // Batched RIP bookkeeping (cache_rip only). Invariant: a stack's
+  // pending bumps are applied before any read of its instances' rips and
+  // before any insert into it; everything flushes by the end of on_batch,
+  // so snapshots and purges always see settled rips.
+  void stage_rip_bump(Shard& shard, std::size_t stack, Timestamp ts);
+  void flush_stack_rips(Shard& shard, std::size_t stack);
+  void flush_all_rips();
 
   bool sealed(Timestamp interval_end) const noexcept {
     // No future event can fall strictly inside an interval ending at
@@ -138,6 +178,13 @@ class OooEngine final : public PatternEngine {
     return seal_watermark_ >= interval_end - 1;
   }
 
+  // Sealing as the in-flight arrival sees it: identical to sealed() on
+  // the per-event path, potentially earlier than the batch-end watermark
+  // inside on_batch (see AdmittedEvent).
+  bool sealed_at_arrival(Timestamp interval_end) const noexcept {
+    return arrival_watermark_ >= interval_end - 1;
+  }
+
   // Adaptive K: apply estimator growth (safe at any time); called per
   // event. Shrink is applied inside maybe_purge() only.
   void maybe_grow_slack();
@@ -145,6 +192,9 @@ class OooEngine final : public PatternEngine {
   StreamClock clock_;
   SlackEstimator estimator_;
   AdmissionControl admission_{options_, stats_};
+  // One Event copy per admitted relevant arrival; stacks and negation
+  // buffers reference it by handle. Cleared and rebuilt on restore.
+  EventArena arena_;
   // High-water mark of clock_.seal_point() over the run: every sealing
   // and purge decision ever taken used a horizon <= this. An arriving
   // event with ts <= seal_watermark_ violates the effective contract.
@@ -169,8 +219,35 @@ class OooEngine final : public PatternEngine {
   std::unordered_map<Value, Shard, ValueHasher> shards_;
   std::priority_queue<PendingMatch, std::vector<PendingMatch>, PendingLater> pending_;
   // Aggressive policy: emitted matches whose negation intervals have not
-  // sealed yet — still revocable. Swept alongside process_pending().
-  std::vector<PendingMatch> unsealed_emitted_;
+  // sealed yet — still revocable. Kept ordered by seal_ts so sealing
+  // pops a prefix and a late negative at ts t inspects only entries with
+  // seal_ts > t (a victim needs t strictly inside an interval ending at
+  // hi <= seal_ts), instead of rescanning the whole list per arrival.
+  std::deque<PendingMatch> unsealed_emitted_;
+
+  // on_batch scratch (admitted slice, sorted) and the shards with
+  // pending RIP bumps this batch. Pointers into shards_ are safe:
+  // unordered_map references are stable and flush_all_rips() runs before
+  // any shard can be erased (maybe_purge).
+  // Admitted slice with the seal watermark in effect at each event's
+  // arrival. Phase C completes candidates against the trigger's arrival
+  // watermark, not the batch-end one: a batch may advance the clock past
+  // a candidate's seal point before the trigger is even spliced, and
+  // treating it as already sealed would skip the pending-resolution
+  // recheck that a same-batch negative must still be able to fail.
+  struct AdmittedEvent {
+    const Event* e;
+    Timestamp wm;
+  };
+  std::vector<AdmittedEvent> batch_admitted_;
+  // Watermark at the arrival being processed by Phase C (== the current
+  // seal watermark on the per-event path).
+  Timestamp arrival_watermark_ = kMinTimestamp;
+  std::vector<Shard*> rip_dirty_shards_;
+  // Watermarks recorded at purge-period crossings inside the current
+  // batch (Phase A). The batch tail replays "seal up to mark, purge at
+  // mark" per entry so resolution sees per-event buffer state.
+  std::vector<Timestamp> batch_purge_marks_;
 };
 
 }  // namespace oosp

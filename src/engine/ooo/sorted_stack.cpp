@@ -6,41 +6,64 @@
 
 namespace oosp {
 
-std::size_t SortedStack::insert(const Event& e) {
-  if (items_.empty() || TsIdLess{}(items_.back().event, e)) {
-    items_.push_back(OooInstance{e, 0});
+namespace {
+
+inline bool key_less(Timestamp ats, EventId aid, Timestamp bts, EventId bid) noexcept {
+  return ats < bts || (ats == bts && aid < bid);
+}
+
+}  // namespace
+
+std::size_t SortedStack::insert(Timestamp ts, EventId id, EventHandle handle) {
+  if (items_.empty() || key_less(items_.back().ts, items_.back().id, ts, id)) {
+    items_.push_back(OooInstance{ts, id, handle, 0});
     return items_.size() - 1;
   }
   const auto it = std::lower_bound(
-      items_.begin(), items_.end(), e,
-      [](const OooInstance& a, const Event& b) { return TsIdLess{}(a.event, b); });
+      items_.begin(), items_.end(), OooInstance{ts, id, handle, 0},
+      [](const OooInstance& a, const OooInstance& b) {
+        return key_less(a.ts, a.id, b.ts, b.id);
+      });
   const auto idx = static_cast<std::size_t>(it - items_.begin());
-  items_.insert(it, OooInstance{e, 0});
+  items_.insert(it, OooInstance{ts, id, handle, 0});
   return idx;
 }
 
 std::size_t SortedStack::count_ts_below(Timestamp t) const noexcept {
   const auto it = std::lower_bound(
       items_.begin(), items_.end(), t,
-      [](const OooInstance& a, Timestamp ts) { return a.event.ts < ts; });
+      [](const OooInstance& a, Timestamp ts) { return a.ts < ts; });
   return static_cast<std::size_t>(it - items_.begin());
 }
 
 std::size_t SortedStack::first_ts_above(Timestamp t) const noexcept {
   const auto it = std::upper_bound(
       items_.begin(), items_.end(), t,
-      [](Timestamp ts, const OooInstance& a) { return ts < a.event.ts; });
+      [](Timestamp ts, const OooInstance& a) { return ts < a.ts; });
   return static_cast<std::size_t>(it - items_.begin());
 }
 
-std::size_t SortedStack::purge_before(Timestamp threshold) {
+std::size_t SortedStack::purge_before(Timestamp threshold, EventArena& arena) {
   const std::size_t n = count_ts_below(threshold);
+  for (std::size_t i = 0; i < n; ++i) arena.release(items_[i].handle);
   items_.erase(items_.begin(), items_.begin() + static_cast<std::ptrdiff_t>(n));
   return n;
 }
 
 void SortedStack::bump_rips_from(std::size_t from, std::size_t delta) noexcept {
   for (std::size_t i = from; i < items_.size(); ++i) items_[i].rip += delta;
+}
+
+void SortedStack::bump_rips_batch(std::span<const Timestamp> sorted_ts) noexcept {
+  if (sorted_ts.empty()) return;
+  // Entries with ts <= sorted_ts.front() are unaffected; from there both
+  // sequences are ascending, so a single merge pass assigns each entry
+  // the count of inserted timestamps strictly below its ts.
+  std::size_t j = 0;
+  for (std::size_t i = first_ts_above(sorted_ts.front()); i < items_.size(); ++i) {
+    while (j < sorted_ts.size() && sorted_ts[j] < items_[i].ts) ++j;
+    items_[i].rip += j;
+  }
 }
 
 void SortedStack::drop_rips(std::size_t removed) noexcept {

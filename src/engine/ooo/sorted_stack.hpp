@@ -9,17 +9,27 @@
 // by binary search (default) or from a cached rightmost-instance pointer
 // (RIP) that out-of-order insertions and purges maintain incrementally
 // (EngineOptions::cache_rip, ablation R-A3).
+//
+// Instances hold a 16-byte (ts, id, handle) key into the engine's
+// EventArena rather than an owning Event copy: binary searches touch only
+// this POD node, the arena pays one attrs allocation per arrival instead
+// of one per referencing stack, and purging releases a refcount instead
+// of freeing a vector.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "common/event_arena.hpp"
 #include "event/event.hpp"
 
 namespace oosp {
 
 struct OooInstance {
-  Event event;
+  Timestamp ts = 0;
+  EventId id = 0;
+  EventHandle handle = kNullEventHandle;
   // Cached RIP: number of instances in the PREVIOUS step's stack with
   // ts strictly below this instance's ts. Maintained only when the
   // engine runs in cache_rip mode; 0 otherwise.
@@ -28,9 +38,10 @@ struct OooInstance {
 
 class SortedStack {
  public:
-  // Inserts keeping (ts, id) order; returns the insertion index.
-  // Appending (the in-order fast path) is O(1) amortized.
-  std::size_t insert(const Event& e);
+  // Inserts keeping (ts, id) order; returns the insertion index. The
+  // stack takes over one arena reference for the handle. Appending (the
+  // in-order fast path) is O(1) amortized.
+  std::size_t insert(Timestamp ts, EventId id, EventHandle handle);
 
   // Number of instances with ts strictly below t == index of the first
   // instance with ts >= t.
@@ -39,18 +50,27 @@ class SortedStack {
   // Index of the first instance with ts strictly above t.
   std::size_t first_ts_above(Timestamp t) const noexcept;
 
-  // Removes the prefix with ts < threshold; returns how many.
-  std::size_t purge_before(Timestamp threshold);
+  // Removes the prefix with ts < threshold, releasing each instance's
+  // arena reference; returns how many.
+  std::size_t purge_before(Timestamp threshold, EventArena& arena);
 
   // Adds delta to the rip of every instance in [from, size()).
   void bump_rips_from(std::size_t from, std::size_t delta) noexcept;
+
+  // Batched form of bump_rips_from for a run of inserts into the
+  // PREVIOUS stack: `sorted_ts` holds the inserted timestamps in
+  // ascending order, and each instance's rip grows by the number of
+  // entries strictly below its ts. One pass over the suffix that can be
+  // affected, instead of one bump pass per insert.
+  void bump_rips_batch(std::span<const Timestamp> sorted_ts) noexcept;
 
   // Subtracts `removed` from every rip (after the previous stack purged
   // `removed` instances). Every live rip must be >= removed.
   void drop_rips(std::size_t removed) noexcept;
 
   // Checkpoint support (runtime/checkpoint.hpp). items() is already in
-  // the canonical (ts, id) order; set_items() trusts its input to be.
+  // the canonical (ts, id) order; set_items() trusts its input to be and
+  // to carry one arena reference per instance.
   const std::vector<OooInstance>& items() const noexcept { return items_; }
   void set_items(std::vector<OooInstance> items) { items_ = std::move(items); }
 

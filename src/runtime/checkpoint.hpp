@@ -47,6 +47,7 @@
 #include <deque>
 #include <unordered_set>
 
+#include "common/event_arena.hpp"
 #include "engine/core/admission.hpp"
 #include "engine/core/match.hpp"
 #include "engine/core/negative_buffer.hpp"
@@ -435,19 +436,28 @@ inline void read_admission(CheckpointReader& r, AdmissionControl& a) {
   a.restore_state(std::move(ids), std::move(quarantine));
 }
 
-inline void write_negative_buffer(CheckpointWriter& w, const NegativeBuffer& nb) {
+// The wire format stores the events themselves (count + events in
+// (ts, id) order); the arena handles are an in-memory detail, so the
+// bytes are identical to the pre-arena layout and restore re-allocates
+// one arena slot per entry.
+inline void write_negative_buffer(CheckpointWriter& w, const NegativeBuffer& nb,
+                                  const EventArena& arena) {
   w.tag("neg");
-  w.u64(nb.events().size());
-  for (const Event& e : nb.events()) w.event(e);
+  w.u64(nb.entries().size());
+  for (const NegativeBuffer::Entry& e : nb.entries()) w.event(arena.get(e.handle));
 }
 
-inline void read_negative_buffer(CheckpointReader& r, NegativeBuffer& nb) {
+inline void read_negative_buffer(CheckpointReader& r, NegativeBuffer& nb,
+                                 EventArena& arena) {
   r.expect_tag("neg");
   const std::size_t n = r.count(8);
-  std::vector<Event> events;
-  events.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) events.push_back(r.event());
-  nb.set_events(std::move(events));
+  std::vector<NegativeBuffer::Entry> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event e = r.event();
+    entries.push_back(NegativeBuffer::Entry{e.ts, e.id, arena.alloc(e)});
+  }
+  nb.set_entries(std::move(entries));
 }
 
 // Guard header every engine serializer writes first: restoring into an

@@ -67,6 +67,32 @@ void MultiQueryRunner::on_event(const Event& e) {
   if (routed) ++events_routed_;
 }
 
+void MultiQueryRunner::on_batch(std::span<const Event> batch) {
+  if (batch.empty()) return;
+  started_ = true;
+  events_seen_ += batch.size();
+  if (batch_scratch_.size() != entries_.size()) batch_scratch_.resize(entries_.size());
+  std::uint64_t routed = 0;
+  for (const Event& e : batch) {
+    bool rel = false;
+    if (e.type < deliveries_.size()) {
+      for (const Delivery& d : deliveries_[e.type]) {
+        batch_scratch_[d.id].push_back(&e);
+        rel |= d.relevant;
+      }
+    } else {
+      for (const QueryId id : clock_subscribers_) batch_scratch_[id].push_back(&e);
+    }
+    if (rel) ++routed;
+  }
+  events_routed_ += routed;
+  for (QueryId id = 0; id < entries_.size(); ++id) {
+    if (batch_scratch_[id].empty()) continue;
+    entries_[id].engine->on_batch(batch_scratch_[id]);
+    batch_scratch_[id].clear();
+  }
+}
+
 void MultiQueryRunner::finish() {
   for (Entry& entry : entries_) entry.engine->finish();
 }

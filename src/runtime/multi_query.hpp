@@ -27,6 +27,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -50,6 +51,15 @@ class MultiQueryRunner {
                     EngineOptions options = {});
 
   void on_event(const Event& e);
+
+  // Batched ingestion: routes the whole slice through the delivery table
+  // once, gathering each engine's sub-batch (pointers into `batch`) and
+  // handing it over in a single on_batch call. Delivery sets and the
+  // per-event order each engine observes are identical to looping
+  // on_event — engines are independent, so engine-major delivery order
+  // is immaterial.
+  void on_batch(std::span<const Event> batch);
+
   void finish();
 
   std::size_t query_count() const noexcept { return entries_.size(); }
@@ -115,6 +125,9 @@ class MultiQueryRunner {
   bool started_ = false;
   std::uint64_t events_seen_ = 0;
   std::uint64_t events_routed_ = 0;
+  // on_batch scratch: per-engine gathered sub-batches (cleared after each
+  // dispatch; capacity persists across batches).
+  std::vector<std::vector<const Event*>> batch_scratch_;
 };
 
 }  // namespace oosp

@@ -70,6 +70,18 @@ void Session::on_event(const Event& e) {
   }
 }
 
+void Session::push_batch(std::span<const Event> batch) {
+  if (batch.empty()) return;
+  OOSP_REQUIRE(!finished_, "push_batch after finish");
+  events_seen_ += batch.size();
+  if (session_events_) session_events_->inc(batch.size());
+  if (sharded_runner_) {
+    sharded_runner_->on_batch(batch);
+  } else {
+    inline_runner_->on_batch(batch);
+  }
+}
+
 void Session::finish() {
   if (finished_) return;
   finished_ = true;

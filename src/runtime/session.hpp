@@ -64,6 +64,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <utility>
@@ -214,6 +215,13 @@ class Session {
 
   // Feed events in arrival order; single producer thread.
   void on_event(const Event& e);
+
+  // Batched ingestion: semantically identical to calling on_event on
+  // each element in order, but amortizes routing, queue transactions and
+  // per-event engine overhead across the slice. The span is consumed
+  // before return (events are copied into the runtime); the caller's
+  // buffer can be reused immediately.
+  void push_batch(std::span<const Event> batch);
 
   // End of stream: flushes the engines (joining shard workers) and
   // delivers all matches to the sink in canonical order. Idempotent.

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "common/cpu_relax.hpp"
 #include "runtime/checkpoint.hpp"
 
 namespace oosp {
@@ -137,33 +138,47 @@ ShardedRunner::~ShardedRunner() {
 
 void ShardedRunner::worker_loop(Shard& shard) {
   try {
-    Event e;
+    // Bulk dequeue amortizes the ring's shared-cache-line traffic; the
+    // popped events are still PROCESSED one at a time, so engine-visible
+    // order, kill-hook points, and checkpoint cadence are identical to
+    // the per-event loop (pop batch boundaries are timing-dependent and
+    // must not be observable).
+    constexpr std::size_t kWorkerBatch = 256;
+    std::vector<Event> buf(kWorkerBatch);
+    SpinBackoff backoff;
     for (;;) {
-      if (shard.queue->try_pop(e)) {
+      const std::size_t n = shard.queue->try_pop_n(buf.data(), buf.size());
+      if (n > 0) {
+        backoff.reset();
         if (shard.watermark_lag) {
           // How far this shard trails the stream: the newest timestamp the
           // producer has routed anywhere minus the one being consumed now.
           const Timestamp newest = global_clock_.load(std::memory_order_relaxed);
-          if (newest != kMinTimestamp && newest > e.ts)
-            shard.watermark_lag->set(newest - e.ts);
+          if (newest != kMinTimestamp && newest > buf[0].ts)
+            shard.watermark_lag->set(newest - buf[0].ts);
           shard.queue_depth->set(
-              static_cast<std::int64_t>(shard.queue->size_approx()));
+              static_cast<std::int64_t>(shard.queue->size_approx() + n));
         }
-        // Fault injection: die BEFORE processing, so the victim event is
-        // neither reflected in engine state nor covered by a checkpoint —
-        // the supervisor must replay it.
-        if (recovery_.kill_hook && recovery_.kill_hook(e)) throw WorkerKilled(e.id);
-        shard.runner->on_event(e);
-        ++shard.consumed;
-        if (recovery_.enabled() && shard.consumed % recovery_.checkpoint_every == 0)
-          checkpoint_shard(shard);
+        for (std::size_t i = 0; i < n; ++i) {
+          const Event& e = buf[i];
+          // Fault injection: die BEFORE processing, so the victim event is
+          // neither reflected in engine state nor covered by a checkpoint —
+          // the supervisor must replay it. (Events popped but not yet
+          // processed die with this incarnation; their consumed count was
+          // never advanced, so replay covers them too.)
+          if (recovery_.kill_hook && recovery_.kill_hook(e)) throw WorkerKilled(e.id);
+          shard.runner->on_event(e);
+          ++shard.consumed;
+          if (recovery_.enabled() && shard.consumed % recovery_.checkpoint_every == 0)
+            checkpoint_shard(shard);
+        }
         if (shard.merge_occupancy)
           shard.merge_occupancy->set(
               static_cast<std::int64_t>(shard.sink->matches().size()));
         continue;
       }
       if (shard.stop.load(std::memory_order_acquire) && shard.queue->empty()) break;
-      std::this_thread::yield();
+      backoff.pause();
     }
     shard.runner->finish();
     shard.final_stats.clear();  // a dead predecessor may have left partial rows
@@ -227,6 +242,7 @@ void ShardedRunner::admit_to_backup(Shard& shard, const Event& e) {
   // Bounded ring: block (yielding) until a checkpoint retires enough of
   // the backlog. Steady state never gets here — between trims the ring
   // holds at most checkpoint_every + queue_capacity events.
+  SpinBackoff backoff;
   while (shard.backup.size() >= backup_capacity_) {
     if (shard.dead.load(std::memory_order_acquire)) {
       // A dead worker will never checkpoint; recover first (replays the
@@ -234,7 +250,7 @@ void ShardedRunner::admit_to_backup(Shard& shard, const Event& e) {
       // (kFail exhaustion) or drop the shard — the caller re-checks.
       if (!supervise_dead_shard(shard)) return;
     }
-    std::this_thread::yield();
+    backoff.pause();
     trim_backup(shard);
   }
   shard.backup.push_back(e);
@@ -389,6 +405,7 @@ void ShardedRunner::push_blocking(Shard& shard, Event e) {
       return;
     }
   }
+  SpinBackoff backoff;
   while (!shard.queue->try_push(std::move(e))) {
     if (shard.dead.load(std::memory_order_acquire)) {
       // A dead worker will never drain this queue; surface its exception
@@ -400,13 +417,32 @@ void ShardedRunner::push_blocking(Shard& shard, Event e) {
       return;
     }
     if (push_retries_) push_retries_->inc();
-    std::this_thread::yield();
+    backoff.pause();
   }
 }
 
-void ShardedRunner::on_event(const Event& e) {
-  OOSP_REQUIRE(!finished_, "on_event after finish");
-  ++events_seen_;
+void ShardedRunner::push_batch_blocking(Shard& shard, std::vector<Event>& events) {
+  // Recovery is off on this path (on_batch falls back to per-event
+  // routing when it is on), so the only liveness hazard is a dead,
+  // never-draining consumer — same fail-fast contract as push_blocking,
+  // including the up-front check while the ring still has room.
+  if (shard.dead.load(std::memory_order_acquire)) rethrow_worker_error(shard);
+  std::span<Event> rest(events);
+  SpinBackoff backoff;
+  while (!rest.empty()) {
+    const std::size_t n = shard.queue->try_push_n(rest);
+    if (n > 0) {
+      rest = rest.subspan(n);
+      backoff.reset();
+      continue;
+    }
+    if (shard.dead.load(std::memory_order_acquire)) rethrow_worker_error(shard);
+    if (push_retries_) push_retries_->inc();
+    backoff.pause();
+  }
+}
+
+void ShardedRunner::route_event(const Event& e) {
   if (e.ts > global_clock_.load(std::memory_order_relaxed))
     global_clock_.store(e.ts, std::memory_order_relaxed);
   const std::size_t slot = partition_.slot_for(e.type);
@@ -421,6 +457,50 @@ void ShardedRunner::on_event(const Event& e) {
   }
   const std::size_t target = hasher_(e.attrs[slot]) % shards_.size();
   push_blocking(*shards_[target], e);
+}
+
+void ShardedRunner::on_event(const Event& e) {
+  OOSP_REQUIRE(!finished_, "on_event after finish");
+  ++events_seen_;
+  route_event(e);
+}
+
+void ShardedRunner::on_batch(std::span<const Event> batch) {
+  OOSP_REQUIRE(!finished_, "on_batch after finish");
+  events_seen_ += batch.size();
+  if (recovery_.enabled() || batch.size() == 1) {
+    // Per-event routing: the backup ring's admit-before-push invariant is
+    // per event (see header), and a batch of one gains nothing from
+    // staging.
+    for (const Event& e : batch) route_event(e);
+    return;
+  }
+  if (batch_stage_.size() != shards_.size()) batch_stage_.resize(shards_.size());
+  for (const Event& e : batch) {
+    if (e.ts > global_clock_.load(std::memory_order_relaxed))
+      global_clock_.store(e.ts, std::memory_order_relaxed);
+    const std::size_t slot = partition_.slot_for(e.type);
+    if (slot == PartitionSpec::kTickOnly || slot >= e.attrs.size()) {
+      if (broadcasts_) broadcasts_->inc();
+      for (auto& stage : batch_stage_) stage.push_back(e);
+      continue;
+    }
+    const std::size_t target = hasher_(e.attrs[slot]) % shards_.size();
+    batch_stage_[target].push_back(e);
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (batch_stage_[i].empty()) continue;
+    if (shards_[i]->dropped) {
+      // Should be unreachable (dropping requires recovery, which routes
+      // per event above), but keep the accounting correct regardless.
+      shards_[i]->dropped_events += batch_stage_[i].size();
+      degraded_.dropped_events += batch_stage_[i].size();
+      if (dropped_events_obs_) dropped_events_obs_->inc(batch_stage_[i].size());
+    } else {
+      push_batch_blocking(*shards_[i], batch_stage_[i]);
+    }
+    batch_stage_[i].clear();
+  }
 }
 
 void ShardedRunner::finish() {

@@ -151,11 +151,23 @@ class ShardedRunner {
   ShardedRunner(const ShardedRunner&) = delete;
   ShardedRunner& operator=(const ShardedRunner&) = delete;
 
-  // Producer side; single-threaded. Blocks (yielding) while the target
-  // shard's queue is full — backpressure preserves arrival order. If the
-  // target worker has died (its engine threw), rethrows that worker's
-  // exception instead of spinning on a queue nobody will ever drain.
+  // Producer side; single-threaded. Blocks (pause/yield backoff) while
+  // the target shard's queue is full — backpressure preserves arrival
+  // order. If the target worker has died (its engine threw), rethrows
+  // that worker's exception instead of spinning on a queue nobody will
+  // ever drain.
   void on_event(const Event& e);
+
+  // Producer side, batched: partitions the whole slice up front, then
+  // moves each shard's sub-batch into its ring with bulk try_push_n
+  // transactions (one acquire/release pair per round instead of per
+  // event). Workers still process per event, so engine-visible order and
+  // checkpoint cadence are untouched. With recovery enabled this falls
+  // back to per-event routing: backup-before-push admission is a
+  // per-event invariant — staging a whole batch into the backup before a
+  // mid-push worker death would both replay it and push the remainder,
+  // duplicating events.
+  void on_batch(std::span<const Event> batch);
 
   // Drains the queues, joins the workers, runs per-shard finish().
   // Idempotent. After it returns, the accessors below are valid. If any
@@ -251,6 +263,10 @@ class ShardedRunner {
 
   void worker_loop(Shard& shard);
   void push_blocking(Shard& shard, Event e);
+  void route_event(const Event& e);
+  // Moves all of `events` into the shard's ring, blocking with backoff
+  // when full; recovery is disabled on this path (see on_batch).
+  void push_batch_blocking(Shard& shard, std::vector<Event>& events);
   [[noreturn]] void rethrow_worker_error(const Shard& shard);
 
   // Supervision internals (recovery enabled only).
@@ -298,6 +314,9 @@ class ShardedRunner {
   Counter* dropped_events_obs_ = nullptr;
   std::uint64_t replayed_events_ = 0;
   DegradedAccounting degraded_;
+  // on_batch scratch: per-shard staged sub-batches (cleared after each
+  // push round; capacity persists across batches).
+  std::vector<std::vector<Event>> batch_stage_;
 };
 
 }  // namespace oosp

@@ -153,13 +153,15 @@ TEST_F(NegationTest, NegativeBufferUnit) {
   const CompiledQuery q = compile_query(
       "PATTERN SEQ(A a, !B b, C c) WHERE a.k == b.k AND b.v > 5 WITHIN 100", reg_);
   NegativeBuffer buf(q, 1);
+  EventArena arena;
   const Event b1 = ev("B", 0, 20, 1, 9);
   const Event b2 = ev("B", 1, 25, 2, 9);
   const Event b3 = ev("B", 2, 15, 1, 9);  // out-of-order insert
-  buf.insert(b1);
-  buf.insert(b2);
-  buf.insert(b3);
+  buf.insert(b1.ts, b1.id, arena.alloc(b1));
+  buf.insert(b2.ts, b2.id, arena.alloc(b2));
+  buf.insert(b3.ts, b3.id, arena.alloc(b3));
   EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(arena.live(), 3u);
 
   const Event a = ev("A", 10, 10, 1);
   const Event c = ev("C", 11, 30, 1);
@@ -167,15 +169,16 @@ TEST_F(NegationTest, NegativeBufferUnit) {
   bind[0] = &a;
   bind[2] = &c;
   std::uint64_t evals = 0;
-  EXPECT_TRUE(buf.violates(10, 30, bind, evals));   // b1 and b3 qualify
+  EXPECT_TRUE(buf.violates(arena, 10, 30, bind, evals));   // b1 and b3 qualify
   EXPECT_GT(evals, 0u);
-  EXPECT_FALSE(buf.violates(26, 30, bind, evals));  // nothing in (26,30)
-  EXPECT_FALSE(buf.violates(30, 10, bind, evals));  // degenerate interval
-  EXPECT_EQ(bind[1], nullptr);                      // scratch slot restored
+  EXPECT_FALSE(buf.violates(arena, 26, 30, bind, evals));  // nothing in (26,30)
+  EXPECT_FALSE(buf.violates(arena, 30, 10, bind, evals));  // degenerate interval
+  EXPECT_EQ(bind[1], nullptr);                             // scratch slot restored
 
-  EXPECT_EQ(buf.purge_before(21), 2u);  // b3(15), b1(20) out
+  EXPECT_EQ(buf.purge_before(21, arena), 2u);  // b3(15), b1(20) out
   EXPECT_EQ(buf.size(), 1u);
-  EXPECT_FALSE(buf.violates(10, 25, bind, evals));
+  EXPECT_EQ(arena.live(), 1u);  // purge released the arena references
+  EXPECT_FALSE(buf.violates(arena, 10, 25, bind, evals));
 }
 
 TEST_F(NegationTest, NegativeBufferLocalPredIsNotRechecked) {
@@ -185,14 +188,16 @@ TEST_F(NegationTest, NegativeBufferLocalPredIsNotRechecked) {
   const CompiledQuery q = compile_query(
       "PATTERN SEQ(A a, !B b, C c) WHERE a.k == b.k AND b.v > 5 WITHIN 100", reg_);
   NegativeBuffer buf(q, 1);
-  buf.insert(ev("B", 0, 20, 1, 0));  // fails b.v > 5
+  EventArena arena;
+  const Event bad = ev("B", 0, 20, 1, 0);  // fails b.v > 5
+  buf.insert(bad.ts, bad.id, arena.alloc(bad));
   const Event a = ev("A", 10, 10, 1);
   const Event c = ev("C", 11, 30, 1);
   std::vector<const Event*> bind(q.num_steps(), nullptr);
   bind[0] = &a;
   bind[2] = &c;
   std::uint64_t evals = 0;
-  EXPECT_TRUE(buf.violates(10, 30, bind, evals));
+  EXPECT_TRUE(buf.violates(arena, 10, 30, bind, evals));
 }
 
 TEST_F(NegationTest, BufferRequiresNegatedStep) {

@@ -168,34 +168,41 @@ TEST(Schedule, RejectsIncompleteOrder) {
   EXPECT_THROW(build_predicate_schedule(q, partial), std::invalid_argument);
 }
 
+namespace {
+// Allocates a minimal arena event so inserts carry a live reference.
+EventHandle mk_handle(EventArena& arena, EventId id, Timestamp ts) {
+  Event e;
+  e.id = id;
+  e.ts = ts;
+  return arena.alloc(e);
+}
+}  // namespace
+
 TEST(SortedStack, InsertKeepsOrderAndReportsIndex) {
   SortedStack s;
-  auto mk = [](EventId id, Timestamp ts) {
-    Event e;
-    e.id = id;
-    e.ts = ts;
-    return e;
+  EventArena arena;
+  auto ins = [&](EventId id, Timestamp ts) {
+    return s.insert(ts, id, mk_handle(arena, id, ts));
   };
-  EXPECT_EQ(s.insert(mk(0, 10)), 0u);
-  EXPECT_EQ(s.insert(mk(1, 30)), 1u);  // append fast path
-  EXPECT_EQ(s.insert(mk(2, 20)), 1u);  // splice in the middle
-  EXPECT_EQ(s.insert(mk(3, 20)), 2u);  // tie breaks by id
+  EXPECT_EQ(ins(0, 10), 0u);
+  EXPECT_EQ(ins(1, 30), 1u);  // append fast path
+  EXPECT_EQ(ins(2, 20), 1u);  // splice in the middle
+  EXPECT_EQ(ins(3, 20), 2u);  // tie breaks by id
   ASSERT_EQ(s.size(), 4u);
-  EXPECT_EQ(s[0].event.ts, 10);
-  EXPECT_EQ(s[1].event.id, 2u);
-  EXPECT_EQ(s[2].event.id, 3u);
-  EXPECT_EQ(s[3].event.ts, 30);
+  EXPECT_EQ(s[0].ts, 10);
+  EXPECT_EQ(s[1].id, 2u);
+  EXPECT_EQ(s[2].id, 3u);
+  EXPECT_EQ(s[3].ts, 30);
+  EXPECT_EQ(arena.get(s[1].handle).id, 2u);  // handle resolves to the event
 }
 
 TEST(SortedStack, RangeQueries) {
   SortedStack s;
-  auto mk = [](EventId id, Timestamp ts) {
-    Event e;
-    e.id = id;
-    e.ts = ts;
-    return e;
-  };
-  for (EventId i = 0; i < 5; ++i) s.insert(mk(i, static_cast<Timestamp>(i) * 10));
+  EventArena arena;
+  for (EventId i = 0; i < 5; ++i) {
+    const auto ts = static_cast<Timestamp>(i) * 10;
+    s.insert(ts, i, mk_handle(arena, i, ts));
+  }
   EXPECT_EQ(s.count_ts_below(0), 0u);
   EXPECT_EQ(s.count_ts_below(1), 1u);
   EXPECT_EQ(s.count_ts_below(20), 2u);   // strictly below
@@ -205,21 +212,41 @@ TEST(SortedStack, RangeQueries) {
 
 TEST(SortedStack, PurgeAndRipMaintenance) {
   SortedStack s;
-  auto mk = [](EventId id, Timestamp ts) {
-    Event e;
-    e.id = id;
-    e.ts = ts;
-    return e;
-  };
-  for (EventId i = 0; i < 6; ++i) s.insert(mk(i, static_cast<Timestamp>(i) * 10));
+  EventArena arena;
+  for (EventId i = 0; i < 6; ++i) {
+    const auto ts = static_cast<Timestamp>(i) * 10;
+    s.insert(ts, i, mk_handle(arena, i, ts));
+  }
   s.bump_rips_from(2, 3);
   EXPECT_EQ(s[1].rip, 0u);
   EXPECT_EQ(s[2].rip, 3u);
   EXPECT_EQ(s[5].rip, 3u);
-  EXPECT_EQ(s.purge_before(25), 3u);  // ts 0,10,20 gone
+  EXPECT_EQ(s.purge_before(25, arena), 3u);  // ts 0,10,20 gone
   ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(arena.live(), 3u);  // purge released the arena references
   s.drop_rips(2);
   EXPECT_EQ(s[0].rip, 1u);
+}
+
+TEST(SortedStack, BumpRipsBatchMatchesPerInsertBumps) {
+  // bump_rips_batch(sorted_ts) must equal applying, for each inserted ts,
+  // bump_rips_from(first_ts_above(ts), 1) — the per-event maintenance it
+  // amortizes.
+  const std::vector<Timestamp> stack_ts{5, 10, 10, 20, 30, 30, 40};
+  const std::vector<Timestamp> inserted{0, 10, 10, 25, 30, 100};
+  SortedStack batched;
+  SortedStack serial;
+  EventArena arena;
+  for (EventId i = 0; i < stack_ts.size(); ++i) {
+    batched.insert(stack_ts[i], i, mk_handle(arena, i, stack_ts[i]));
+    serial.insert(stack_ts[i], i, mk_handle(arena, i, stack_ts[i]));
+  }
+  batched.bump_rips_batch(inserted);
+  for (const Timestamp t : inserted)
+    serial.bump_rips_from(serial.first_ts_above(t), 1);
+  ASSERT_EQ(batched.size(), serial.size());
+  for (std::size_t i = 0; i < batched.size(); ++i)
+    EXPECT_EQ(batched[i].rip, serial[i].rip) << "index " << i;
 }
 
 }  // namespace
