@@ -61,7 +61,7 @@ void run_obs(benchmark::State& state, ObsState obs) {
     }
     Session session(sc.workload->registry(), std::move(config), sink);
     const auto t0 = std::chrono::steady_clock::now();
-    for (const Event& e : sc.arrivals) session.on_event(e);
+    for (const Event& e : sc.arrivals) session.push(e);
     session.close();
     const auto t1 = std::chrono::steady_clock::now();
     matches = sink->matches().size();

@@ -60,7 +60,7 @@ void run_sharded(benchmark::State& state, std::size_t shards) {
                         .query(sc.query->text()),
                     sink);
     const auto t0 = std::chrono::steady_clock::now();
-    for (const Event& e : sc.arrivals) session.on_event(e);
+    for (const Event& e : sc.arrivals) session.push(e);
     session.finish();
     const auto t1 = std::chrono::steady_clock::now();
     if (session.shard_count() != shards)

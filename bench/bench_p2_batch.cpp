@@ -75,7 +75,7 @@ void run_batched(benchmark::State& state, std::size_t batch) {
                     sink);
     const auto t0 = std::chrono::steady_clock::now();
     if (batch <= 1) {
-      for (const Event& e : sc.arrivals) session.on_event(e);
+      for (const Event& e : sc.arrivals) session.push(e);
     } else {
       for (std::size_t i = 0; i < sc.arrivals.size(); i += batch) {
         const std::size_t n = std::min(batch, sc.arrivals.size() - i);

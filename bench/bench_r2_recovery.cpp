@@ -77,7 +77,7 @@ void checkpoint_overhead(benchmark::State& state, std::size_t every) {
     const auto sink = std::make_shared<CollectingTaggedSink>();
     Session session(sc.workload->registry(), base_config(sc, every), sink);
     const auto t0 = std::chrono::steady_clock::now();
-    for (const Event& e : sc.arrivals) session.on_event(e);
+    for (const Event& e : sc.arrivals) session.push(e);
     session.close();
     const auto t1 = std::chrono::steady_clock::now();
     if (session.shard_count() != kShards)
@@ -113,7 +113,7 @@ void recovery_latency(benchmark::State& state, std::size_t every) {
     const auto sink = std::make_shared<CollectingTaggedSink>();
     Session session(sc.workload->registry(),
                     base_config(sc, every).kill_hook(fault.hook()), sink);
-    for (const Event& e : sc.arrivals) session.on_event(e);
+    for (const Event& e : sc.arrivals) session.push(e);
     session.close();
     if (session.shard_count() != kShards)
       state.SkipWithError(session.shard_fallback_reason().c_str());

@@ -63,11 +63,11 @@ int main() {
 
   // The Payment for order 7 ARRIVES BEFORE its Order — a late event a
   // conventional engine would silently drop on the floor.
-  session.on_event(event("Payment", 0, 60, 7, 99.5));
-  session.on_event(event("Order", 1, 40, 7, 99.5));    // late by 20 ticks
-  session.on_event(event("Order", 2, 70, 8, 15.0));
-  session.on_event(event("Payment", 3, 90, 8, 15.0));
-  session.on_event(event("Payment", 4, 95, 9, 2.0));   // below amount filter
+  session.push(event("Payment", 0, 60, 7, 99.5));
+  session.push(event("Order", 1, 40, 7, 99.5));    // late by 20 ticks
+  session.push(event("Order", 2, 70, 8, 15.0));
+  session.push(event("Payment", 3, 90, 8, 15.0));
+  session.push(event("Payment", 4, 95, 9, 2.0));   // below amount filter
   session.close();
 
   const EngineStats stats = session.total_stats();

@@ -40,12 +40,12 @@ int main() {
   EngineOptions opt;
   opt.slack = network.slack_bound();
   const QueryId q_theft =
-      runner.add_query(store.shoplifting_query(600), EngineKind::kOoo, opt);
+      runner.add_query({store.shoplifting_query(600), EngineKind::kOoo, opt});
   const QueryId q_sale =
-      runner.add_query(store.purchase_query(600), EngineKind::kOoo, opt);
+      runner.add_query({store.purchase_query(600), EngineKind::kOoo, opt});
   const QueryId q_fast = runner.add_query(
-      "PATTERN SEQ(Shelf s, Checkout c) WHERE s.item == c.item WITHIN 40",
-      EngineKind::kOoo, opt);
+      {"PATTERN SEQ(Shelf s, Checkout c) WHERE s.item == c.item WITHIN 40",
+       EngineKind::kOoo, opt});
 
   for (const Event& e : arrivals) runner.on_event(e);
   runner.finish();

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "engine/core/engine.hpp"
@@ -21,6 +22,26 @@ enum class EngineKind : std::uint8_t {
 };
 
 std::string_view to_string(EngineKind k) noexcept;
+
+// Declarative registration of one query: the pattern text plus optional
+// per-query engine kind and options. Implicitly constructible from a
+// bare string so `.query("PATTERN ...")` keeps reading naturally; a kind
+// or options left unset falls back to the caller's defaults (the
+// SessionConfig-wide .engine()/.options(), or kOoo/{} on a raw
+// MultiQueryRunner). This is the one value type query registration
+// accepts — SessionConfig::query and MultiQueryRunner::add_query both
+// take it, replacing the positional (text, kind, options) triples.
+struct QuerySpec {
+  std::string text;
+  std::optional<EngineKind> kind;
+  std::optional<EngineOptions> options;
+
+  QuerySpec(std::string t) : text(std::move(t)) {}
+  QuerySpec(const char* t) : text(t) {}
+  QuerySpec(std::string t, EngineKind k) : text(std::move(t)), kind(k) {}
+  QuerySpec(std::string t, EngineKind k, EngineOptions o)
+      : text(std::move(t)), kind(k), options(std::move(o)) {}
+};
 
 std::unique_ptr<PatternEngine> make_engine(EngineKind kind, EngineContext ctx);
 

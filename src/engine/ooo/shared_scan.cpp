@@ -1,0 +1,415 @@
+#include "engine/ooo/shared_scan.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "engine/core/schedule.hpp"
+#include "runtime/checkpoint.hpp"
+
+namespace oosp {
+
+SharedScanGroup::SharedScanGroup(const ScanGroupPlan& plan,
+                                 std::vector<SharedScanMember> members,
+                                 EngineOptions options,
+                                 std::shared_ptr<TaggedSink> sink)
+    : options_(std::move(options)),
+      sink_(std::move(sink)),
+      clock_(options_.slack),
+      obs_(EngineObs::create(options_.metrics, /*arrival_side=*/true)),
+      mqo_obs_(MqoObs::create(options_.metrics)) {
+  OOSP_REQUIRE(options_.slack >= 0, "slack must be non-negative");
+  OOSP_REQUIRE(sink_ != nullptr, "SharedScanGroup: null sink");
+  OOSP_REQUIRE(members.size() >= 2 && members.size() == plan.members.size(),
+               "SharedScanGroup: members disagree with the plan");
+  partitioned_ = plan.partitioned;
+  types_ = plan.types;
+  type_slot_ = plan.type_slot;
+  type_index_.assign(types_.empty() ? 0 : types_.back() + 1, CompiledStep::npos);
+  for (std::size_t i = 0; i < types_.size(); ++i) type_index_[types_[i]] = i;
+  members_of_type_.resize(types_.size());
+  anchors_.resize(types_.size());
+
+  members_.reserve(members.size());
+  for (std::uint32_t mi = 0; mi < members.size(); ++mi) {
+    SharedScanMember& sm = members[mi];
+    OOSP_REQUIRE(sm.query != nullptr, "SharedScanGroup: null query");
+    const CompiledQuery& q = *sm.query;
+    // Pure-positive means pattern step index == positive ordinal, which
+    // the binding/bindings indexing below relies on.
+    OOSP_CHECK(q.positive_steps().size() == q.num_steps(),
+               "SharedScanGroup: negated steps cannot share a scan");
+    Member m;
+    m.id = sm.id;
+    m.query = std::move(sm.query);
+    window_ = std::max(window_, q.window());
+    const std::size_t n = q.num_steps();
+    m.stack_of_ordinal.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t ti = type_index(q.step(k).type);
+      OOSP_CHECK(ti != CompiledStep::npos,
+                 "SharedScanGroup: plan is missing a member's type");
+      m.stack_of_ordinal[k] = ti;
+      anchors_[ti].push_back(Anchor{mi, static_cast<std::uint32_t>(k)});
+      auto& audience = members_of_type_[ti];
+      if (audience.empty() || audience.back() != mi) audience.push_back(mi);
+    }
+    // One predicate schedule per anchor ordinal, binding order
+    // a, a−1, …, 0, a+1, …, n−1 — identical to OooEngine's construction.
+    m.anchored_schedule.resize(n);
+    for (std::size_t a = 0; a < n; ++a) {
+      std::vector<std::size_t> order;
+      order.reserve(n);
+      for (std::size_t k = a + 1; k-- > 0;) order.push_back(k);
+      for (std::size_t k = a + 1; k < n; ++k) order.push_back(k);
+      m.anchored_schedule[a] = build_predicate_schedule(q, order);
+    }
+    m.bindings.assign(n, nullptr);
+    members_.push_back(std::move(m));
+  }
+  if (!partitioned_) root_ = make_shard();
+}
+
+SharedScanGroup::Shard SharedScanGroup::make_shard() const {
+  Shard sh;
+  sh.stacks.resize(types_.size());
+  return sh;
+}
+
+SharedScanGroup::Shard& SharedScanGroup::shard_for(const Value& key) {
+  if (!partitioned_) return root_;
+  auto it = shards_.find(key);
+  if (it == shards_.end()) it = shards_.emplace(key, make_shard()).first;
+  return it->second;
+}
+
+void SharedScanGroup::on_event(const Event& e) {
+  const Event* one = &e;
+  on_batch(std::span<const Event* const>(&one, 1));
+}
+
+void SharedScanGroup::on_batch(std::span<const Event* const> batch) {
+  if (batch.empty()) return;
+  started_ = true;
+
+  // Phase A — arrival order, ONCE for the whole group: admission, clock
+  // observation and the contract-violation policy run exactly as one
+  // OooEngine's would, with the arrival counters replicated to every
+  // member the event is relevant to (each member engine would have seen
+  // it). Lateness/violations are judged against the group clock (the
+  // union of member-relevant types), which advances at least as fast as
+  // any member's own clock — a monotone-conservative accounting.
+  batch_admitted_.clear();
+  for (const Event* pe : batch) {
+    const Event& e = *pe;
+    const std::size_t ti = type_index(e.type);
+    if (ti == CompiledStep::npos) continue;  // runner routes only relevant types
+    const auto& audience = members_of_type_[ti];
+    for (const std::uint32_t mi : audience) ++members_[mi].stats.events_seen;
+    EngineObs::inc(obs_.events, audience.size());
+    if (!admission_.admit(e)) continue;
+    const Timestamp lateness = clock_.observe(e);
+    if (lateness > 0) {
+      for (const std::uint32_t mi : audience) ++members_[mi].stats.late_events;
+      EngineObs::inc(obs_.late, audience.size());
+    }
+    seal_watermark_ = std::max(seal_watermark_, clock_.seal_point());
+    if (e.ts <= seal_watermark_) {
+      for (const std::uint32_t mi : audience)
+        ++members_[mi].stats.contract_violations;
+      EngineObs::inc(obs_.violations, audience.size());
+      if (!admission_.admit_violation(e)) continue;
+    }
+    batch_admitted_.push_back(pe);
+    if (options_.purge_period != 0 &&
+        ++events_since_purge_ >= options_.purge_period) {
+      events_since_purge_ = 0;
+      // With no negation state a purge is observable only through the
+      // positive stacks, so a deeper pass subsumes earlier ones — record
+      // just the last crossing (what OooEngine's subsumed-pass collapsing
+      // does for a pure-positive query, keeping purge_passes comparable).
+      batch_purge_due_ = true;
+      batch_purge_mark_ = seal_watermark_;
+    }
+  }
+
+  // Phase B — canonical intra-batch order (see OooEngine::on_batch: the
+  // match set is invariant under insertion order of a fixed multiset).
+  std::sort(batch_admitted_.begin(), batch_admitted_.end(),
+            [](const Event* a, const Event* b) { return TsIdLess{}(*a, *b); });
+
+  // Phase C — insert ONCE into the shared per-type stack, then run each
+  // member's anchored construction from the inserted instance.
+  for (const Event* pe : batch_admitted_) {
+    const Event& e = *pe;
+    const std::size_t ti = type_index(e.type);
+    for (const std::uint32_t mi : members_of_type_[ti])
+      ++members_[mi].stats.events_relevant;
+    const Value key = partitioned_ ? e.attr(type_slot_[e.type]) : Value{};
+    Shard& shard = shard_for(key);
+    const EventHandle h = arena_.alloc(e);
+    const std::size_t idx = shard.stacks[ti].insert(e.ts, e.id, h);
+    shared_stats_.note_instance_added();
+    EngineObs::inc(mqo_obs_.shared_insertions);
+    // No member inserts during construction, so the reference is stable
+    // across the whole anchor sweep.
+    const OooInstance& anchor = shard.stacks[ti][idx];
+    for (const Anchor& a : anchors_[ti])
+      construct_anchored(members_[a.member], shard, a.ordinal, anchor);
+  }
+
+  if (batch_purge_due_) {
+    purge_pass(batch_purge_mark_);
+    batch_purge_due_ = false;
+  }
+  shared_stats_.note_footprint(shared_stats_.footprint() +
+                               admission_.quarantine_size());
+  EngineObs::set(obs_.footprint,
+                 static_cast<std::int64_t>(shared_stats_.footprint()));
+  EngineObs::set(obs_.effective_slack, clock_.slack());
+}
+
+bool SharedScanGroup::bind_if_local_pass(Member& m, std::size_t ordinal,
+                                         const Event& e) {
+  m.bindings[ordinal] = &e;
+  for (const std::size_t pi : m.query->step(ordinal).local_predicates) {
+    ++m.stats.predicate_evals;
+    if (!m.query->predicates()[pi].eval(m.bindings)) {
+      m.bindings[ordinal] = nullptr;
+      return false;
+    }
+  }
+  return true;
+}
+
+void SharedScanGroup::construct_anchored(Member& m, Shard& shard,
+                                         std::size_t anchor_ordinal,
+                                         const OooInstance& anchor) {
+  // A member engine filtered by step-local predicates at insert time; the
+  // shared stack is unfiltered, so the anchor must pass them here before
+  // this member constructs around it.
+  if (!bind_if_local_pass(m, anchor_ordinal, arena_.get(anchor.handle))) return;
+  ++m.stats.construction_visits;
+  if (anchor_ordinal > 0) {
+    left_phase(m, shard, anchor_ordinal - 1, anchor_ordinal, anchor);
+  } else if (m.query->num_steps() > 1) {
+    right_phase(m, shard, 1, anchor_ordinal);
+  } else {
+    complete_candidate(m);
+  }
+  m.bindings[anchor_ordinal] = nullptr;
+}
+
+void SharedScanGroup::left_phase(Member& m, Shard& shard, std::size_t ordinal,
+                                 std::size_t anchor_ordinal,
+                                 const OooInstance& successor) {
+  SortedStack& stack = shard.stacks[m.stack_of_ordinal[ordinal]];
+  const Timestamp anchor_ts = m.bindings[anchor_ordinal]->ts;
+  const std::size_t ub = stack.count_ts_below(successor.ts);
+  const std::size_t floor = stack.count_ts_below(anchor_ts - m.query->window());
+  const std::size_t sched_pos = anchor_ordinal - ordinal;
+  for (std::size_t v = ub; v-- > floor;) {
+    const OooInstance& inst = stack[v];
+    ++m.stats.construction_visits;
+    if (!bind_if_local_pass(m, ordinal, arena_.get(inst.handle))) continue;
+    bool ok = true;
+    for (const std::size_t pi : m.anchored_schedule[anchor_ordinal][sched_pos]) {
+      ++m.stats.predicate_evals;
+      if (!m.query->predicates()[pi].eval(m.bindings)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      if (ordinal > 0) {
+        left_phase(m, shard, ordinal - 1, anchor_ordinal, inst);
+      } else if (anchor_ordinal + 1 < m.query->num_steps()) {
+        right_phase(m, shard, anchor_ordinal + 1, anchor_ordinal);
+      } else {
+        complete_candidate(m);
+      }
+    }
+  }
+  m.bindings[ordinal] = nullptr;
+}
+
+void SharedScanGroup::right_phase(Member& m, Shard& shard, std::size_t ordinal,
+                                  std::size_t anchor_ordinal) {
+  SortedStack& stack = shard.stacks[m.stack_of_ordinal[ordinal]];
+  const Timestamp prev_ts = m.bindings[ordinal - 1]->ts;
+  const Timestamp ceiling = m.bindings[0]->ts + m.query->window();
+  for (std::size_t v = stack.first_ts_above(prev_ts); v < stack.size(); ++v) {
+    const OooInstance& inst = stack[v];
+    if (inst.ts > ceiling) break;  // sorted: all further fail the window
+    ++m.stats.construction_visits;
+    if (!bind_if_local_pass(m, ordinal, arena_.get(inst.handle))) continue;
+    bool ok = true;
+    for (const std::size_t pi : m.anchored_schedule[anchor_ordinal][ordinal]) {
+      ++m.stats.predicate_evals;
+      if (!m.query->predicates()[pi].eval(m.bindings)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      if (ordinal + 1 < m.query->num_steps()) {
+        right_phase(m, shard, ordinal + 1, anchor_ordinal);
+      } else {
+        complete_candidate(m);
+      }
+    }
+  }
+  m.bindings[ordinal] = nullptr;
+}
+
+void SharedScanGroup::complete_candidate(Member& m) {
+  Match match;
+  const std::size_t n = m.query->num_steps();
+  match.events.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) match.events.push_back(*m.bindings[k]);
+  match.detection_clock = clock_.now();
+  ++m.stats.matches_emitted;
+  if (obs_.matches != nullptr) {
+    obs_.matches->inc();
+    if (match.detection_clock != kMinTimestamp)
+      obs_.latency_stream->observe_signed(match.detection_delay());
+  }
+  EngineObs::observe(obs_.latency_wall_us, 0);  // emitted within the arrival call
+  sink_->on_match(m.id, std::move(match));
+}
+
+void SharedScanGroup::purge_pass(Timestamp horizon) {
+  if (!clock_.started()) return;
+  // Same horizon derivation as OooEngine::purge_pass, with the group
+  // window W_max: positive state below watermark − W_max + 1 cannot join
+  // any member's future match (any admitted future event sits above the
+  // watermark, and no member window is wider than W_max).
+  const Timestamp pos_threshold = horizon < kMinTimestamp + window_
+                                      ? kMinTimestamp + 1
+                                      : horizon - window_ + 1;
+  ++shared_stats_.purge_passes;
+  EngineObs::inc(obs_.purge_passes);
+  if (partitioned_) {
+    for (auto it = shards_.begin(); it != shards_.end();) {
+      purge_shard(it->second, pos_threshold);
+      const bool empty =
+          std::all_of(it->second.stacks.begin(), it->second.stacks.end(),
+                      [](const SortedStack& s) { return s.empty(); });
+      it = empty ? shards_.erase(it) : std::next(it);
+    }
+  } else {
+    purge_shard(root_, pos_threshold);
+  }
+}
+
+void SharedScanGroup::purge_shard(Shard& shard, Timestamp pos_threshold) {
+  for (SortedStack& st : shard.stacks) {
+    const std::size_t removed = st.purge_before(pos_threshold, arena_);
+    if (removed) {
+      shared_stats_.note_instances_removed(removed);
+      EngineObs::inc(obs_.purged, removed);
+    }
+  }
+}
+
+void SharedScanGroup::finish() { purge_pass(seal_watermark_); }
+
+std::vector<Event> SharedScanGroup::drain_quarantine() {
+  return admission_.drain_quarantine();
+}
+
+EngineStats SharedScanGroup::member_stats(std::size_t i) const {
+  EngineStats s = members_.at(i).stats;
+  if (i == 0) s += shared_stats_;
+  s.effective_slack = clock_.slack();
+  return s;
+}
+
+void SharedScanGroup::write_shard(CheckpointWriter& w, const Shard& sh) const {
+  w.tag("gsh");
+  w.u64(sh.stacks.size());
+  for (const SortedStack& st : sh.stacks) {
+    w.u64(st.size());
+    for (std::size_t i = 0; i < st.size(); ++i) w.event(arena_.get(st[i].handle));
+  }
+}
+
+SharedScanGroup::Shard SharedScanGroup::read_shard(CheckpointReader& r) {
+  r.expect_tag("gsh");
+  Shard sh = make_shard();
+  if (r.count() != sh.stacks.size())
+    throw CheckpointError("shared-scan checkpoint stack count disagrees with plan");
+  for (SortedStack& st : sh.stacks) {
+    const std::size_t n = r.count(8);
+    std::vector<OooInstance> items;
+    items.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event e = r.event();
+      items.push_back(OooInstance{e.ts, e.id, arena_.alloc(e), 0});
+    }
+    st.set_items(std::move(items));
+  }
+  return sh;
+}
+
+void SharedScanGroup::snapshot(CheckpointWriter& w) const {
+  w.tag("mqg");
+  w.u64(members_.size());
+  for (const Member& m : members_) w.str(m.query->text());
+  w.stats(shared_stats_);
+  for (const Member& m : members_) w.stats(m.stats);
+  write_clock(w, clock_);
+  write_admission(w, admission_);
+  w.i64(seal_watermark_);
+  w.u64(events_since_purge_);
+  w.boolean(partitioned_);
+  if (partitioned_) {
+    std::vector<const std::pair<const Value, Shard>*> entries;
+    entries.reserve(shards_.size());
+    for (const auto& kv : shards_) entries.push_back(&kv);
+    std::sort(entries.begin(), entries.end(), [](const auto* a, const auto* b) {
+      return a->first.compare(b->first) < 0;
+    });
+    w.u64(entries.size());
+    for (const auto* kv : entries) {
+      w.value(kv->first);
+      write_shard(w, kv->second);
+    }
+  } else {
+    write_shard(w, root_);
+  }
+}
+
+void SharedScanGroup::restore(CheckpointReader& r) {
+  OOSP_REQUIRE(!started_, "SharedScanGroup::restore after events were processed");
+  r.expect_tag("mqg");
+  if (r.count() != members_.size())
+    throw CheckpointError("shared-scan checkpoint member count disagrees with plan");
+  for (const Member& m : members_) {
+    if (r.str() != m.query->text())
+      throw CheckpointError("shared-scan checkpoint query drift");
+  }
+  shared_stats_ = r.stats();
+  for (Member& m : members_) m.stats = r.stats();
+  read_clock(r, clock_);
+  read_admission(r, admission_);
+  seal_watermark_ = r.i64();
+  events_since_purge_ = static_cast<std::size_t>(r.u64());
+  if (r.boolean() != partitioned_)
+    throw CheckpointError("shared-scan checkpoint partitioning disagrees with plan");
+  arena_.clear();
+  shards_.clear();
+  if (partitioned_) {
+    const std::size_t n = r.count();
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Value key = r.value();
+      Shard sh = read_shard(r);
+      shards_.emplace(std::move(key), std::move(sh));
+    }
+  } else {
+    root_ = read_shard(r);
+  }
+  started_ = clock_.started();
+}
+
+}  // namespace oosp

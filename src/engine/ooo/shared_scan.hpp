@@ -1,0 +1,196 @@
+// Shared multi-query sequence scan (MQO) — one arrival-side pipeline
+// for a group of queries.
+//
+// A ScanGroupPlan (runtime/planner.hpp) buckets pure-positive OOO
+// queries whose scans are physically compatible: same state-shaping
+// EngineOptions, a shared SEQ prefix, and — when hash-partitioned —
+// agreeing per-type key attributes. For such a group this class runs
+// admission (schema validation, dedup, LatePolicy), stream-clock
+// observation, seal-watermark maintenance, purge-cadence bookkeeping and
+// stack insertion ONCE per arrival, where N per-query engines would run
+// them N times.
+//
+// What stays per query: retroactive anchored construction and predicate
+// evaluation. The group keeps one timestamp-ordered SortedStack per
+// relevant event TYPE (per key shard when partitioned) instead of one
+// per (query, step). The stacks are therefore UNFILTERED — a member's
+// step-local predicates are evaluated at visit time during that member's
+// construction, not at insert time — and each member walks them through
+// its own ordinal→type mapping with its own window and predicate
+// schedules. Emission goes through the TaggedSink/QueryId contract, and
+// because construction is anchored at the inserted event exactly as in
+// OooEngine, every member's output is bit-identical to what its own
+// engine would have produced (match set, per-query order, and stats
+// semantics for matches; see DESIGN.md §3.10 for the arrival-counter
+// replication rules).
+//
+// Purging uses the MAXIMUM member window: state below
+// watermark − W_max + 1 cannot join any member's future match, and the
+// extra state a small-window member never purges is unobservable to it —
+// its left phase floors at anchor_ts − W_member regardless.
+//
+// Negation, adaptive slack, RIP caching and trace hooks are excluded at
+// plan time (shared_scan_exclusion) — they need per-query sealing state
+// or per-engine lifecycles — so a group has no pending heap and no
+// negative buffers, and a purge pass is observable only through the
+// positive stacks (a deeper pass subsumes earlier ones within a batch).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/event_arena.hpp"
+#include "engine/core/admission.hpp"
+#include "engine/core/engine.hpp"
+#include "engine/core/sink.hpp"
+#include "engine/ooo/sorted_stack.hpp"
+#include "runtime/planner.hpp"
+#include "stream/clock.hpp"
+
+namespace oosp {
+
+class CheckpointWriter;
+class CheckpointReader;
+
+struct SharedScanMember {
+  QueryId id = 0;
+  std::shared_ptr<const CompiledQuery> query;
+};
+
+class SharedScanGroup {
+ public:
+  // `plan` must have been produced by plan_shared_scan over entries whose
+  // ids match `members` (>= 2, ascending); `options` are the members'
+  // common options. The sink receives per-member emissions tagged with
+  // the member's QueryId.
+  SharedScanGroup(const ScanGroupPlan& plan,
+                  std::vector<SharedScanMember> members, EngineOptions options,
+                  std::shared_ptr<TaggedSink> sink);
+
+  SharedScanGroup(const SharedScanGroup&) = delete;
+  SharedScanGroup& operator=(const SharedScanGroup&) = delete;
+
+  void on_event(const Event& e);
+  void on_batch(std::span<const Event* const> batch);
+  void finish();
+
+  // Events parked by LatePolicy::kQuarantine, drained once for the whole
+  // group — the caller fans each event out to the members it is relevant
+  // to (one member engine each would have quarantined its own copy).
+  // Groups currently form only under LatePolicy::kAdmit (the planner
+  // excludes clock-dependent late policies), so this is empty in
+  // practice; it keeps the runner's drain loop uniform.
+  std::vector<Event> drain_quarantine();
+
+  std::size_t num_members() const noexcept { return members_.size(); }
+  QueryId member_id(std::size_t i) const { return members_.at(i).id; }
+
+  // True when events of type `t` are pattern input for some member.
+  bool relevant(TypeId t) const noexcept {
+    return type_index(t) != CompiledStep::npos;
+  }
+
+  // Per-member stats view. Arrival counters (events_seen/late/violations/
+  // relevant) are replicated per relevant member; physical counters
+  // (instances, purges, footprint, admission outcomes) exist once and are
+  // merged into member 0's snapshot so summing across members equals the
+  // group's physical reality.
+  EngineStats member_stats(std::size_t i) const;
+
+  bool started() const noexcept { return started_; }
+
+  // Checkpointing: the group's shared state (clock, admission, stacks) is
+  // written exactly once plus the per-member stats. restore() must run
+  // on a freshly built group (same plan, members, options) before any
+  // event — it validates member query texts and throws CheckpointError
+  // on drift.
+  void snapshot(CheckpointWriter& w) const;
+  void restore(CheckpointReader& r);
+
+ private:
+  struct Shard {
+    std::vector<SortedStack> stacks;  // one per dense type index
+  };
+  struct Anchor {
+    std::uint32_t member;
+    std::uint32_t ordinal;
+  };
+  struct Member {
+    QueryId id = 0;
+    std::shared_ptr<const CompiledQuery> query;
+    EngineStats stats;
+    // Member ordinal -> dense group type index (which shared stack holds
+    // that step's candidates).
+    std::vector<std::size_t> stack_of_ordinal;
+    // anchored_schedule[a][pos]: predicate ids ready at position pos of
+    // the binding order (a, a−1, …, 0, a+1, …, n−1) — same construction
+    // as OooEngine's.
+    std::vector<std::vector<std::vector<std::size_t>>> anchored_schedule;
+    std::vector<const Event*> bindings;  // by step index (== ordinal)
+  };
+
+  Shard make_shard() const;
+  Shard& shard_for(const Value& key);
+  std::size_t type_index(TypeId t) const noexcept {
+    return t < type_index_.size() ? type_index_[t] : CompiledStep::npos;
+  }
+
+  // Binds the visited event at `ordinal` and evaluates the member's
+  // step-local predicates (shared stacks are unfiltered, so the filter a
+  // member engine applied at insert time runs at visit time here).
+  bool bind_if_local_pass(Member& m, std::size_t ordinal, const Event& e);
+  void construct_anchored(Member& m, Shard& shard, std::size_t anchor_ordinal,
+                          const OooInstance& anchor);
+  void left_phase(Member& m, Shard& shard, std::size_t ordinal,
+                  std::size_t anchor_ordinal, const OooInstance& successor);
+  void right_phase(Member& m, Shard& shard, std::size_t ordinal,
+                   std::size_t anchor_ordinal);
+  void complete_candidate(Member& m);
+  void purge_pass(Timestamp horizon);
+  void purge_shard(Shard& shard, Timestamp pos_threshold);
+  void write_shard(CheckpointWriter& w, const Shard& sh) const;
+  Shard read_shard(CheckpointReader& r);
+
+  EngineOptions options_;
+  std::shared_ptr<TaggedSink> sink_;
+  std::vector<Member> members_;
+
+  // Physical (once-per-group) counters; admission writes its outcomes
+  // here. Merged into member 0's snapshot by member_stats().
+  EngineStats shared_stats_;
+  StreamClock clock_;
+  AdmissionControl admission_{options_, shared_stats_};
+  EventArena arena_;
+  EngineObs obs_;
+  MqoObs mqo_obs_;
+
+  Timestamp seal_watermark_ = kMinTimestamp;
+  bool partitioned_ = false;
+  bool started_ = false;
+  std::size_t events_since_purge_ = 0;
+  // Maximum member window — the group purge horizon (see header comment).
+  Timestamp window_ = 0;
+
+  std::vector<std::size_t> type_index_;  // TypeId -> dense index or npos
+  std::vector<std::size_t> type_slot_;   // TypeId -> key slot (partitioned)
+  std::vector<TypeId> types_;            // dense index -> TypeId
+  // Per dense type: members it is relevant to (for arrival-counter
+  // replication) and the (member, ordinal) anchors to construct from.
+  std::vector<std::vector<std::uint32_t>> members_of_type_;
+  std::vector<std::vector<Anchor>> anchors_;
+
+  Shard root_;
+  std::unordered_map<Value, Shard, ValueHasher> shards_;
+
+  std::vector<const Event*> batch_admitted_;
+  // Purge cadence crossings within the current batch. With no negation
+  // state a deeper purge subsumes earlier ones, so only the LAST crossing
+  // runs — exactly what OooEngine's subsumed-pass collapsing does for a
+  // pure-positive query, keeping purge_passes counts comparable.
+  bool batch_purge_due_ = false;
+  Timestamp batch_purge_mark_ = kMinTimestamp;
+};
+
+}  // namespace oosp

@@ -99,4 +99,25 @@ struct EngineObs {
   }
 };
 
+// Shared-scan (MQO) instruments, owned by the runner that materialized
+// the execution plan: how many scan groups the plan built (summed across
+// shards — every shard runs the same plan) and how many events were
+// inserted exactly once into a group's shared stacks, each such
+// insertion standing in for one insertion per member engine.
+struct MqoObs {
+  Gauge* groups = nullptr;
+  Counter* shared_insertions = nullptr;
+
+  static MqoObs create(MetricsRegistry* reg) {
+    MqoObs o;
+    if (reg == nullptr) return o;
+    o.groups = reg->gauge("oosp_mqo_groups", GaugeAgg::kSum,
+                          "shared-scan groups in the active execution plan");
+    o.shared_insertions = reg->counter(
+        "oosp_mqo_shared_insertions_total",
+        "events inserted once into a shared scan group's stacks");
+    return o;
+  }
+};
+
 }  // namespace oosp

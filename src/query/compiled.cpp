@@ -57,6 +57,25 @@ std::span<const std::size_t> CompiledQuery::steps_for_type(TypeId t) const noexc
   return type_to_steps_[t];
 }
 
+std::vector<TypeId> CompiledQuery::positive_type_chain() const {
+  std::vector<TypeId> chain;
+  chain.reserve(positive_.size());
+  for (const std::size_t s : positive_) chain.push_back(steps_[s].type);
+  return chain;
+}
+
+std::size_t CompiledQuery::uniform_partition_slot(TypeId t) const noexcept {
+  if (!partitionable_) return CompiledStep::npos;
+  std::size_t slot = CompiledStep::npos;
+  for (const std::size_t s : steps_for_type(t)) {
+    const std::size_t here = partition_slots_[s];
+    if (here == CompiledStep::npos) return CompiledStep::npos;
+    if (slot == CompiledStep::npos) slot = here;
+    else if (slot != here) return CompiledStep::npos;
+  }
+  return slot;
+}
+
 namespace {
 
 // Union-find over dense indices, used for equi-join key detection.

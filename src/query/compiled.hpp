@@ -122,6 +122,18 @@ class CompiledQuery {
   std::span<const std::size_t> steps_for_type(TypeId t) const noexcept;
   bool relevant(TypeId t) const noexcept { return !steps_for_type(t).empty(); }
 
+  // Event types of the positive steps, in pattern order — the query's
+  // SEQ chain as the shared-scan planner (runtime/planner.hpp) sees it.
+  // A type may repeat when the pattern matches it at several positions.
+  std::vector<TypeId> positive_type_chain() const;
+
+  // The single equi-join slot every step accepting type `t` keys on, or
+  // CompiledStep::npos when the query is not partitionable, the type is
+  // irrelevant, or two steps of the type key on different attributes.
+  // A shared scan keeps ONE stack per (type, key shard), so queries can
+  // only share a partitioned scan when this agrees per overlapping type.
+  std::size_t uniform_partition_slot(TypeId t) const noexcept;
+
   // Equi-join partitioning: when the WHERE clause forces one attribute of
   // every positive step into a single equality class, partition_slots()
   // returns, per pattern step, the slot of that attribute (or npos for

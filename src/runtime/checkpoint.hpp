@@ -5,7 +5,7 @@
 //
 //   offset  size  field
 //   0       4     magic "OSPC"
-//   4       4     format version (u32; currently 1)
+//   4       4     format version (u32; currently 2)
 //   8       8     payload length in bytes (u64)
 //   16      n     payload
 //   16+n    4     CRC-32 (IEEE, reflected) over the payload
@@ -67,7 +67,9 @@ class CheckpointError : public std::runtime_error {
 namespace ckptdetail {
 
 inline constexpr std::uint32_t kMagic = 0x4350534Fu;  // "OSPC" little-endian
-inline constexpr std::uint32_t kVersion = 1;
+// v2: MultiQueryRunner frames carry shared-scan groups ("mqg" blocks)
+// ahead of the per-query solo engines.
+inline constexpr std::uint32_t kVersion = 2;
 inline constexpr std::size_t kHeaderSize = 16;  // magic + version + payload length
 inline constexpr std::size_t kTrailerSize = 4;  // crc32
 

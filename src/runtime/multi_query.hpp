@@ -1,17 +1,22 @@
 // Multi-query execution: many pattern queries over one arrival stream.
 //
 // A production deployment rarely runs a single query. MultiQueryRunner
-// owns one engine per registered query and dispatches each arriving
-// event through a single per-type DELIVERY TABLE listing every engine
-// that must see events of that type, exactly once each:
+// registers queries (QuerySpec), materializes an execution plan —
+// shared-scan groups for queries whose scans are physically compatible
+// (runtime/planner.hpp + engine/ooo/shared_scan.hpp), per-query engines
+// for the rest — and dispatches each arriving event through a single
+// per-type DELIVERY TABLE listing every execution slot that must see
+// events of that type, exactly once each:
 //
-//   * queries whose pattern references the type (shared-scan routing:
-//     irrelevant queries cost nothing per event), and
+//   * solo queries whose pattern references the type and shared-scan
+//     groups with a member that does (shared-scan routing: irrelevant
+//     queries cost nothing per event),
 //   * queries with negated steps for which the type is IRRELEVANT — they
 //     receive the event purely as a clock tick, because negation sealing
 //     needs stream-time progress and an engine that only saw its own
 //     types would sit on pending matches until the next relevant
-//     arrival.
+//     arrival. (Negated queries never group, so ticks always target a
+//     solo engine.)
 //
 // Building the union once per type (rather than routing and then
 // broadcasting to negation holders) makes the exactly-once guarantee
@@ -20,9 +25,17 @@
 // no engine can ever observe the same event twice (test_sharded pins
 // this with a regression test).
 //
-// The runner co-owns its sink and compiled queries (shared_ptr); engines
-// are built through make_engine/EngineContext. Results are tagged with
-// the originating query's id. This is also the single-shard execution
+// The plan is materialized lazily at the first event (or snapshot/stats
+// call) and explicitly via prepare(). The sharded runtime and the
+// Session call prepare() on the construction thread so all metric-slot
+// registration happens before worker threads touch the registry (the
+// guarantee metrics.hpp documents). After materialization — and, for
+// safety, after the first event — add_query throws.
+//
+// The runner co-owns its sink and compiled queries (shared_ptr); solo
+// engines are built through make_engine/EngineContext. Results are
+// tagged with the originating query's id whether they come from a solo
+// engine or a group member. This is also the single-shard execution
 // core the sharded runtime replicates — see runtime/sharded.hpp.
 #pragma once
 
@@ -33,16 +46,25 @@
 #include <vector>
 
 #include "engine/engines.hpp"
+#include "engine/ooo/shared_scan.hpp"
+#include "runtime/planner.hpp"
 
 namespace oosp {
 
 class MultiQueryRunner {
  public:
   // `registry` must outlive the runner. The sink is co-owned.
-  MultiQueryRunner(const TypeRegistry& registry, std::shared_ptr<TaggedSink> sink);
+  // `share_scans` gates the shared-scan grouping pass (on by default;
+  // the multi-query bench baseline turns it off to measure the win).
+  MultiQueryRunner(const TypeRegistry& registry, std::shared_ptr<TaggedSink> sink,
+                   bool share_scans = true);
 
   // Compiles and registers a query; returns its id (dense, in add
-  // order). All queries must be added before the first on_event.
+  // order). All queries must be added before the first on_event/push
+  // (enforced — see prepare()).
+  QueryId add_query(const QuerySpec& spec);
+
+  [[deprecated("pass a QuerySpec: add_query({text, kind, options})")]]
   QueryId add_query(std::string_view text, EngineKind kind, EngineOptions options = {});
 
   // Registers an already-compiled query (shared with the caller — the
@@ -50,41 +72,64 @@ class MultiQueryRunner {
   QueryId add_query(std::shared_ptr<const CompiledQuery> query, EngineKind kind,
                     EngineOptions options = {});
 
+  // Materializes the execution plan: runs the shared-scan grouping pass,
+  // builds groups and solo engines, and registers their metric slots.
+  // Implicit before the first event (and before snapshot/restore/stats),
+  // but the multi-threaded runtimes call it explicitly on the
+  // construction thread — metric-slot registration must finish before
+  // worker threads hammer the registry (metrics.hpp). add_query after
+  // prepare() throws.
+  void prepare() const { ensure_built(); }
+
   void on_event(const Event& e);
 
   // Batched ingestion: routes the whole slice through the delivery table
-  // once, gathering each engine's sub-batch (pointers into `batch`) and
+  // once, gathering each slot's sub-batch (pointers into `batch`) and
   // handing it over in a single on_batch call. Delivery sets and the
-  // per-event order each engine observes are identical to looping
-  // on_event — engines are independent, so engine-major delivery order
-  // is immaterial.
+  // per-event order each slot observes are identical to looping
+  // on_event — slots are independent, so slot-major delivery order is
+  // immaterial.
   void on_batch(std::span<const Event> batch);
 
   void finish();
 
-  std::size_t query_count() const noexcept { return entries_.size(); }
-  const CompiledQuery& query(QueryId id) const { return *entries_.at(id).query; }
-  const std::shared_ptr<const CompiledQuery>& query_ptr(QueryId id) const {
-    return entries_.at(id).query;
+  std::size_t query_count() const noexcept { return registrations_.size(); }
+  const CompiledQuery& query(QueryId id) const {
+    return *registrations_.at(id).query;
   }
-  EngineStats stats(QueryId id) const {
-    return entries_.at(id).engine->stats_snapshot();
+  const std::shared_ptr<const CompiledQuery>& query_ptr(QueryId id) const {
+    return registrations_.at(id).query;
   }
 
-  // Events delivered to at least one engine as pattern input (clock-tick
+  // Per-query stats whether the query runs solo or grouped. For grouped
+  // queries, arrival counters are replicated per member and the group's
+  // physical counters are folded into its first member — summing stats()
+  // over all queries remains the correct aggregate (test_mqo pins this).
+  EngineStats stats(QueryId id) const;
+
+  // Shared-scan groups in the materialized plan (0 before prepare()).
+  std::size_t group_count() const noexcept { return groups_.size(); }
+  // Empty when the query grouped; the planner's reason when it runs solo
+  // (also empty when sharing is simply disabled or no partner matched).
+  std::string share_exclusion_reason(QueryId id) const;
+
+  // Events delivered to at least one slot as pattern input (clock-tick
   // deliveries to negation holders do not count as routing).
   std::uint64_t events_routed() const noexcept { return events_routed_; }
   std::uint64_t events_seen() const noexcept { return events_seen_; }
 
-  // Crash-recovery serialization: every engine's snapshot in query-id
-  // order plus the runner's own counters, one section per engine. The
-  // restoring runner must have the same queries registered in the same
-  // order with the same kinds/options (guards are validated per engine).
+  // Crash-recovery serialization: each shared-scan group snapshotted
+  // exactly once (shared state + per-member stats), then every solo
+  // engine in query-id order, then the runner's counters. The restoring
+  // runner must have the same queries registered in the same order with
+  // the same kinds/options — the plan re-materializes identically, and
+  // guards are validated per group/engine.
   void snapshot(CheckpointWriter& w) const;
   void restore(CheckpointReader& r);
 
   // Union of every engine's quarantined late events, in arrival order
-  // per engine, tagged with the owning query id.
+  // per engine, tagged with the owning query id. A group's quarantine is
+  // drained once and fanned out to every member the event is relevant to.
   std::vector<std::pair<QueryId, Event>> drain_quarantine();
 
  private:
@@ -97,37 +142,65 @@ class MultiQueryRunner {
     QueryId id_;
   };
 
-  struct Entry {
+  struct Registration {
     std::shared_ptr<const CompiledQuery> query;
-    std::unique_ptr<PatternEngine> engine;
+    EngineKind kind = EngineKind::kOoo;
+    EngineOptions options;
     bool has_negation = false;
   };
 
-  // One delivery of an event to one engine. `relevant` distinguishes
-  // pattern input from a pure clock tick (for events_routed accounting).
+  // Materialized per-query execution state. Exactly one of {engine,
+  // group} applies: solo queries own an engine; grouped queries point at
+  // their group and member index.
+  struct Entry {
+    std::unique_ptr<PatternEngine> engine;
+    std::size_t group = 0;   // index into groups_ (when !engine)
+    std::size_t member = 0;  // member index within the group
+  };
+
+  // One delivery of an event to one execution slot. Slots < query count
+  // are solo engines (slot == QueryId); slots >= query count are groups
+  // (slot − query count indexes groups_). `relevant` distinguishes
+  // pattern input from a pure clock tick (for events_routed accounting);
+  // group deliveries are always relevant.
   struct Delivery {
-    QueryId id;
+    std::size_t slot;
     bool relevant;
   };
 
-  void rebuild_deliveries();
+  void ensure_built() const;
+  void build() const;
+  void rebuild_deliveries() const;
+  std::size_t slot_count() const { return registrations_.size() + groups_.size(); }
+  void dispatch_to_slot(std::size_t slot, const Event& e) const;
 
   const TypeRegistry& registry_;
   std::shared_ptr<TaggedSink> sink_;
-  std::vector<Entry> entries_;
-  // deliveries_[type]: every engine that must see events of this type,
-  // each exactly once (relevant queries + clock-tick negation holders).
-  std::vector<std::vector<Delivery>> deliveries_;
-  // Fallback for type ids beyond the table (registered after the last
-  // add_query): such a type is relevant to no registered query, so only
-  // negation holders need it, as a tick.
-  std::vector<QueryId> clock_subscribers_;
+  bool share_scans_ = true;
+  std::vector<Registration> registrations_;
+
+  // Lazily materialized execution plan (const-correct lazy init: the
+  // accessors that trigger it are logically const).
+  mutable bool built_ = false;
+  mutable std::vector<Entry> entries_;                          // by QueryId
+  mutable std::vector<std::unique_ptr<SharedScanGroup>> groups_;
+  mutable std::vector<std::string> exclusion_reasons_;          // by QueryId
+  // deliveries_[type]: every slot that must see events of this type,
+  // each exactly once (relevant queries/groups + clock-tick negation
+  // holders).
+  mutable std::vector<std::vector<Delivery>> deliveries_;
+  // Fallback for type ids beyond the table (registered after prepare()):
+  // such a type is relevant to no registered query, so only negation
+  // holders need it, as a tick. Negated queries never group.
+  mutable std::vector<QueryId> clock_subscribers_;
+  // on_batch scratch: per-slot gathered sub-batches (cleared after each
+  // dispatch; capacity persists across batches).
+  mutable std::vector<std::vector<const Event*>> batch_scratch_;
+  mutable MqoObs mqo_obs_;
+
   bool started_ = false;
   std::uint64_t events_seen_ = 0;
   std::uint64_t events_routed_ = 0;
-  // on_batch scratch: per-engine gathered sub-batches (cleared after each
-  // dispatch; capacity persists across batches).
-  std::vector<std::vector<const Event*>> batch_scratch_;
 };
 
 }  // namespace oosp

@@ -1,0 +1,155 @@
+#include "runtime/planner.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace oosp {
+namespace {
+
+// Options whose divergence would make a shared admission / clock / purge
+// pipeline behave differently from each member's own engine. Members of
+// one group must agree on all of them; the remaining options either
+// cannot appear in a group (adaptive_slack, cache_rip, trace — excluded
+// below) or have no effect on pure-positive queries (aggressive_negation,
+// obs_arrival_side is a wrapper-only concern).
+bool options_group_equal(const EngineOptions& a, const EngineOptions& b) {
+  return a.slack == b.slack && a.late_policy == b.late_policy &&
+         a.quarantine_capacity == b.quarantine_capacity &&
+         a.dedup_by_id == b.dedup_by_id && a.registry == b.registry &&
+         a.purge_period == b.purge_period &&
+         a.partition_by_key == b.partition_by_key && a.metrics == b.metrics;
+}
+
+// Mirrors OooEngine's own partitioning decision so the shared scan
+// shards by key exactly when each member engine would have.
+bool effectively_partitioned(const ScanPlanEntry& e) {
+  const CompiledQuery& q = *e.query;
+  return e.options.partition_by_key && q.partitionable() &&
+         std::none_of(q.partition_slots().begin(), q.partition_slots().end(),
+                      [](std::size_t s) { return s == CompiledStep::npos; });
+}
+
+}  // namespace
+
+std::string shared_scan_exclusion(const ScanPlanEntry& e) {
+  OOSP_REQUIRE(e.query != nullptr, "planner: null query");
+  const CompiledQuery& q = *e.query;
+  if (e.kind != EngineKind::kOoo)
+    return "engine kind is not the native OOO engine";
+  if (q.positive_steps().size() != q.num_steps())
+    return "negated steps need per-query sealing state";
+  // The group clock observes the UNION of member types, so it can run
+  // ahead of what a member's own engine would have seen — harmless under
+  // kAdmit (lateness only moves counters), but kDrop/kQuarantine turn
+  // the lateness verdict into a semantic decision that must match the
+  // per-query engine's bit for bit.
+  if (e.options.late_policy != LatePolicy::kAdmit)
+    return "dropping or quarantining late events depends on the per-query clock";
+  if (e.options.adaptive_slack)
+    return "adaptive slack retunes the effective K per engine";
+  if (e.options.cache_rip) return "cached RIPs encode per-query chain structure";
+  if (e.options.trace) return "trace hooks observe per-engine lifecycles";
+  if (effectively_partitioned(e)) {
+    for (const TypeId t : q.positive_type_chain())
+      if (q.uniform_partition_slot(t) == CompiledStep::npos)
+        return "one event type keys on two different attributes";
+  }
+  return {};
+}
+
+ScanPlan plan_shared_scan(std::span<const ScanPlanEntry> entries, bool enabled) {
+  struct Building {
+    ScanGroupPlan plan;
+    const ScanPlanEntry* leader = nullptr;
+    std::vector<TypeId> prefix;  // running common positive-type prefix
+  };
+
+  ScanPlan out;
+  std::vector<Building> open;
+
+  const auto slot_of = [](const Building& b, TypeId t) -> std::size_t {
+    return t < b.plan.type_slot.size() ? b.plan.type_slot[t]
+                                       : CompiledStep::npos;
+  };
+  const auto absorb = [](Building& b, const CompiledQuery& q,
+                         const std::vector<TypeId>& chain) {
+    for (const TypeId t : chain) {
+      if (std::find(b.plan.types.begin(), b.plan.types.end(), t) ==
+          b.plan.types.end())
+        b.plan.types.push_back(t);
+      if (b.plan.partitioned) {
+        if (t >= b.plan.type_slot.size())
+          b.plan.type_slot.resize(t + 1, CompiledStep::npos);
+        b.plan.type_slot[t] = q.uniform_partition_slot(t);
+      }
+    }
+  };
+
+  for (QueryId id = 0; id < entries.size(); ++id) {
+    const ScanPlanEntry& e = entries[id];
+    if (!enabled || !shared_scan_exclusion(e).empty()) {
+      out.solo.push_back(id);
+      continue;
+    }
+    const CompiledQuery& q = *e.query;
+    const std::vector<TypeId> chain = q.positive_type_chain();
+    const bool partitioned = effectively_partitioned(e);
+
+    bool placed = false;
+    for (Building& b : open) {
+      if (!options_group_equal(e.options, b.leader->options)) continue;
+      if (b.plan.partitioned != partitioned) continue;
+      // Sharing pays off only when the scans actually overlap: require a
+      // common SEQ prefix of at least the first step.
+      if (b.prefix.empty() || b.prefix.front() != chain.front()) continue;
+      if (partitioned) {
+        // Overlapping types must agree on the key attribute — the group
+        // keeps ONE stack per (type, key shard).
+        bool agree = true;
+        for (const TypeId t : chain) {
+          const std::size_t theirs = slot_of(b, t);
+          if (theirs != CompiledStep::npos &&
+              theirs != q.uniform_partition_slot(t)) {
+            agree = false;
+            break;
+          }
+        }
+        if (!agree) continue;
+      }
+      b.plan.members.push_back(id);
+      absorb(b, q, chain);
+      std::size_t lcp = 0;
+      while (lcp < b.prefix.size() && lcp < chain.size() &&
+             b.prefix[lcp] == chain[lcp])
+        ++lcp;
+      b.prefix.resize(lcp);
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      Building b;
+      b.leader = &e;
+      b.prefix = chain;
+      b.plan.partitioned = partitioned;
+      b.plan.members.push_back(id);
+      absorb(b, q, chain);
+      open.push_back(std::move(b));
+    }
+  }
+
+  for (Building& b : open) {
+    if (b.plan.members.size() < 2) {
+      // A group of one would just be a worse per-query engine.
+      out.solo.push_back(b.plan.members.front());
+      continue;
+    }
+    std::sort(b.plan.types.begin(), b.plan.types.end());
+    b.plan.shared_prefix_len = b.prefix.size();
+    out.groups.push_back(std::move(b.plan));
+  }
+  std::sort(out.solo.begin(), out.solo.end());
+  return out;
+}
+
+}  // namespace oosp

@@ -1,0 +1,71 @@
+// Plan-time grouping for the shared multi-query sequence scan (MQO).
+//
+// N queries over the same event types pay the SSC arrival-side cost
+// (admission, dedup, stack insertion, watermark/purge bookkeeping) N
+// times when each runs on its own engine. The planner buckets compiled
+// queries whose scans are physically compatible — same engine kind and
+// state-shaping options, a shared SEQ-prefix, and (when partitioned)
+// agreeing per-type key attributes — into ScanGroupPlans; at execution
+// time a SharedScanGroup (engine/ooo/shared_scan.hpp) maintains ONE set
+// of timestamp-ordered Active Instance Stacks per group while sequence
+// construction and predicate evaluation stay per-query.
+//
+// Grouping is deterministic: entries are visited in registration order
+// and greedily join the first compatible open bucket, so the same query
+// set always produces the same plan (checkpoints rely on this — a group
+// is snapshotted once, and restore re-plans to the identical layout).
+// Queries that cannot share (negation, non-OOO kind, adaptive slack,
+// trace hooks, RIP caching, key-attribute conflicts) and buckets that
+// end up with a single member fall back to per-query engines, so the
+// optimization is invisible except in throughput.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/core/sink.hpp"
+#include "engine/engines.hpp"
+#include "query/compiled.hpp"
+
+namespace oosp {
+
+// One registered query as the planner sees it. QueryId is the index of
+// the entry in the span handed to plan_shared_scan.
+struct ScanPlanEntry {
+  std::shared_ptr<const CompiledQuery> query;
+  EngineKind kind = EngineKind::kOoo;
+  EngineOptions options;
+};
+
+// One shared-scan group: >= 2 queries that will maintain a single set of
+// per-type stacks.
+struct ScanGroupPlan {
+  std::vector<QueryId> members;       // ascending registration order
+  std::size_t shared_prefix_len = 0;  // longest common positive-type prefix
+  bool partitioned = false;           // every member keys uniformly per type
+
+  // Union of the members' relevant types, ascending.
+  std::vector<TypeId> types;
+
+  // Indexed by TypeId; the equi-join slot for that type when
+  // `partitioned` (entries for types outside `types` are npos).
+  std::vector<std::size_t> type_slot;
+};
+
+struct ScanPlan {
+  std::vector<ScanGroupPlan> groups;
+  std::vector<QueryId> solo;  // ascending; run on per-query engines
+};
+
+// Why `e` can never join a shared-scan group; empty when it is eligible.
+// Surfaced through docs/diagnostics so "my query didn't group" is
+// answerable.
+std::string shared_scan_exclusion(const ScanPlanEntry& e);
+
+// Buckets `entries` into shared-scan groups. With `enabled` false (or
+// for ineligible/singleton entries) everything lands in `solo`.
+ScanPlan plan_shared_scan(std::span<const ScanPlanEntry> entries, bool enabled);
+
+}  // namespace oosp

@@ -22,7 +22,7 @@ Session::Session(const TypeRegistry& registry, SessionConfig config,
   }
 
   specs_.reserve(config.declarations_.size());
-  for (SessionConfig::QueryDecl& decl : config.declarations_) {
+  for (QuerySpec& decl : config.declarations_) {
     ShardQuerySpec spec;
     spec.query = compile_query_shared(decl.text, registry_);
     spec.kind = decl.kind.value_or(config.default_kind_);
@@ -43,14 +43,18 @@ Session::Session(const TypeRegistry& registry, SessionConfig config,
   if (shards > 1) {
     sharded_runner_ = std::make_unique<ShardedRunner>(
         registry_, specs_, shards, *partition, config.queue_capacity_,
-        metrics_.get(), std::move(config.recovery_));
+        metrics_.get(), std::move(config.recovery_), config.share_scans_);
   } else {
     // Single-shard path collects into the same kind of sink a shard
     // uses, so finish() runs the identical canonical-order delivery.
     collect_ = std::make_shared<CollectingTaggedSink>();
-    inline_runner_ = std::make_unique<MultiQueryRunner>(registry_, collect_);
+    inline_runner_ = std::make_unique<MultiQueryRunner>(registry_, collect_,
+                                                       config.share_scans_);
     for (const ShardQuerySpec& spec : specs_)
       inline_runner_->add_query(spec.query, spec.kind, spec.options);
+    // Materialize the plan (and its metric slots) before returning —
+    // add_query after construction is a contract violation anyway.
+    inline_runner_->prepare();
   }
 
   if (config.report_every_.count() > 0)
@@ -59,8 +63,8 @@ Session::Session(const TypeRegistry& registry, SessionConfig config,
 
 Session::~Session() { stop_reporter(); }
 
-void Session::on_event(const Event& e) {
-  OOSP_REQUIRE(!finished_, "on_event after finish");
+void Session::push(const Event& e) {
+  OOSP_REQUIRE(!finished_, "push after finish");
   ++events_seen_;
   if (session_events_) session_events_->inc();
   if (sharded_runner_) {

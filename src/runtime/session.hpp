@@ -11,8 +11,12 @@
 //                       .shards(4)
 //                       .query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 300"),
 //                   sink);
-//   for (const Event& e : arrivals) session.on_event(e);
+//   for (const Event& e : arrivals) session.push(e);
 //   session.finish();   // results delivered to the sink, canonically ordered
+//
+// `.query(...)` takes a QuerySpec — a plain string uses the session
+// defaults, `{text, kind}` / `{text, kind, options}` override them
+// per query.
 //
 // The Session OWNS the full execution stack: it compiles the queries
 // (shared with every shard), constructs the engines through
@@ -54,7 +58,7 @@
 //
 // `close()` = stop the reporter + finish(). In sharded mode a worker
 // that died on an exception surfaces that exception from close() /
-// finish() (and from on_event() when its queue backs up) instead of
+// finish() (and from push() when its queue backs up) instead of
 // hanging the producer.
 #pragma once
 
@@ -130,6 +134,12 @@ class SessionConfig {
     shards_ = n;
     return *this;
   }
+  // Shared-scan grouping across compatible queries (default: on). Off,
+  // every query runs its own engine — the multi-query bench baseline.
+  SessionConfig& share_scans(bool enabled) {
+    share_scans_ = enabled;
+    return *this;
+  }
   // Per-shard ingress queue capacity (bounded; producer blocks when full).
   SessionConfig& queue_capacity(std::size_t n) {
     queue_capacity_ = n;
@@ -168,37 +178,36 @@ class SessionConfig {
   }
 
   // Registers a query. Ids are assigned densely in declaration order.
-  SessionConfig& query(std::string text) {
-    declarations_.push_back({std::move(text), std::nullopt, std::nullopt});
+  // A bare string converts implicitly; `{text, kind}` and
+  // `{text, kind, options}` override the session defaults per query.
+  SessionConfig& query(QuerySpec spec) {
+    declarations_.push_back(std::move(spec));
     return *this;
   }
+  [[deprecated("pass a QuerySpec: query({text, kind})")]]
   SessionConfig& query(std::string text, EngineKind kind) {
-    declarations_.push_back({std::move(text), kind, std::nullopt});
+    declarations_.push_back(QuerySpec{std::move(text), kind});
     return *this;
   }
+  [[deprecated("pass a QuerySpec: query({text, kind, options})")]]
   SessionConfig& query(std::string text, EngineKind kind, EngineOptions options) {
-    declarations_.push_back({std::move(text), kind, std::move(options)});
+    declarations_.push_back(QuerySpec{std::move(text), kind, std::move(options)});
     return *this;
   }
 
  private:
   friend class Session;
 
-  struct QueryDecl {
-    std::string text;
-    std::optional<EngineKind> kind;
-    std::optional<EngineOptions> options;
-  };
-
   EngineKind default_kind_ = EngineKind::kOoo;
   EngineOptions default_options_;
   std::size_t shards_ = 1;
   std::size_t queue_capacity_ = 64 * 1024;
+  bool share_scans_ = true;
   RecoveryConfig recovery_;
   bool metrics_ = true;
   std::chrono::milliseconds report_every_{0};
   std::function<void(const std::string&)> report_to_;
-  std::vector<QueryDecl> declarations_;
+  std::vector<QuerySpec> declarations_;
 };
 
 class Session {
@@ -214,9 +223,11 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   // Feed events in arrival order; single producer thread.
-  void on_event(const Event& e);
+  void push(const Event& e);
+  [[deprecated("renamed: use push() (pairs with push_batch)")]]
+  void on_event(const Event& e) { push(e); }
 
-  // Batched ingestion: semantically identical to calling on_event on
+  // Batched ingestion: semantically identical to calling push on
   // each element in order, but amortizes routing, queue transactions and
   // per-event engine overhead across the slice. The span is consumed
   // before return (events are copied into the runtime); the caller's
@@ -234,7 +245,7 @@ class Session {
   // thread racing the owner, or twice from the same thread): exactly one
   // caller performs the shutdown, the rest wait for it to complete. The
   // place a sharded worker's failure surfaces if the producer never
-  // tripped over it in on_event(); if the shutdown throws, a retry is an
+  // tripped over it in push(); if the shutdown throws, a retry is an
   // orderly no-op.
   void close();
 

@@ -81,12 +81,14 @@ std::vector<TaggedMatch> merge_match_streams(
 ShardedRunner::ShardedRunner(const TypeRegistry& registry,
                              std::vector<ShardQuerySpec> specs, std::size_t num_shards,
                              PartitionSpec partition, std::size_t queue_capacity,
-                             MetricsRegistry* metrics, RecoveryConfig recovery)
+                             MetricsRegistry* metrics, RecoveryConfig recovery,
+                             bool share_scans)
     : registry_(registry),
       specs_(std::move(specs)),
       partition_(partition),
       queue_capacity_(queue_capacity),
-      recovery_(std::move(recovery)) {
+      recovery_(std::move(recovery)),
+      share_scans_(share_scans) {
   OOSP_REQUIRE(num_shards >= 1, "ShardedRunner needs at least one shard");
   if (recovery_.enabled())
     backup_capacity_ = 2 * recovery_.checkpoint_every + queue_capacity_;
@@ -111,9 +113,13 @@ ShardedRunner::ShardedRunner(const TypeRegistry& registry,
     auto shard = std::make_unique<Shard>();
     shard->queue = std::make_unique<SpscQueue<Event>>(queue_capacity);
     shard->sink = std::make_shared<CollectingTaggedSink>();
-    shard->runner = std::make_unique<MultiQueryRunner>(registry_, shard->sink);
+    shard->runner =
+        std::make_unique<MultiQueryRunner>(registry_, shard->sink, share_scans_);
     for (const ShardQuerySpec& spec : specs_)
       shard->runner->add_query(spec.query, spec.kind, spec.options);
+    // Materialize the plan (and its metric slots) here, before any worker
+    // thread exists — metrics.hpp's registration guarantee.
+    shard->runner->prepare();
     if (metrics) {
       shard->queue_depth = metrics->gauge("oosp_shard_queue_depth", GaugeAgg::kMax);
       shard->watermark_lag = metrics->gauge("oosp_shard_watermark_lag", GaugeAgg::kMax);
@@ -308,9 +314,11 @@ bool ShardedRunner::supervise_dead_shard(Shard& shard) {
     // both wholesale.
     shard.queue = std::make_unique<SpscQueue<Event>>(queue_capacity_);
     shard.sink = std::make_shared<CollectingTaggedSink>();
-    shard.runner = std::make_unique<MultiQueryRunner>(registry_, shard.sink);
+    shard.runner =
+        std::make_unique<MultiQueryRunner>(registry_, shard.sink, share_scans_);
     for (const ShardQuerySpec& spec : specs_)
       shard.runner->add_query(spec.query, spec.kind, spec.options);
+    shard.runner->prepare();
     try {
       std::uint64_t replayed = 0;
       std::uint64_t ckpt_consumed = 0;

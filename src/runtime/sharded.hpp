@@ -140,12 +140,16 @@ std::vector<TaggedMatch> merge_match_streams(std::vector<std::vector<TaggedMatch
 class ShardedRunner {
  public:
   // `registry` must outlive the runner (and `metrics`, when given).
-  // Engines are constructed in the calling thread; workers start
-  // immediately and wait on their queues.
+  // Engines are constructed in the calling thread (each shard runner's
+  // plan is prepared before any worker starts, so metric-slot
+  // registration never races the workers); workers start immediately and
+  // wait on their queues. `share_scans` gates the per-shard shared-scan
+  // grouping pass (see runtime/planner.hpp).
   ShardedRunner(const TypeRegistry& registry, std::vector<ShardQuerySpec> specs,
                 std::size_t num_shards, PartitionSpec partition,
                 std::size_t queue_capacity = 64 * 1024,
-                MetricsRegistry* metrics = nullptr, RecoveryConfig recovery = {});
+                MetricsRegistry* metrics = nullptr, RecoveryConfig recovery = {},
+                bool share_scans = true);
   ~ShardedRunner();
 
   ShardedRunner(const ShardedRunner&) = delete;
@@ -284,6 +288,7 @@ class ShardedRunner {
   PartitionSpec partition_;
   std::size_t queue_capacity_;
   RecoveryConfig recovery_;
+  bool share_scans_ = true;
   // Backup ring bound: past this the producer blocks until a checkpoint
   // trims (steady state never reaches it — the ring holds at most
   // checkpoint_every + queue_capacity events between trims).

@@ -304,7 +304,7 @@ std::vector<std::pair<QueryId, MatchKey>> run_session_stream(
   if (hook) cfg.kill_hook(std::move(hook));
   Session session(wl.registry(), cfg, sink);
   if (batch == 0) {
-    for (const Event& e : arrivals) session.on_event(e);
+    for (const Event& e : arrivals) session.push(e);
   } else {
     Rng rng(seed);
     std::size_t i = 0;

@@ -26,10 +26,10 @@ class MultiQueryTest : public ::testing::Test {
 TEST_F(MultiQueryTest, RoutesEventsToRelevantEnginesOnly) {
   const auto sink = std::make_shared<CollectingTaggedSink>();
   MultiQueryRunner runner(reg_, sink);
-  const QueryId q_ab = runner.add_query("PATTERN SEQ(A a, B b) WITHIN 100",
-                                        EngineKind::kOoo);
-  const QueryId q_cd = runner.add_query("PATTERN SEQ(C c, D d) WITHIN 100",
-                                        EngineKind::kOoo);
+  const QueryId q_ab =
+      runner.add_query({"PATTERN SEQ(A a, B b) WITHIN 100", EngineKind::kOoo});
+  const QueryId q_cd =
+      runner.add_query({"PATTERN SEQ(C c, D d) WITHIN 100", EngineKind::kOoo});
   runner.on_event(ev("A", 0, 10));
   runner.on_event(ev("B", 1, 20));
   runner.on_event(ev("C", 2, 30));
@@ -48,8 +48,8 @@ TEST_F(MultiQueryTest, RoutesEventsToRelevantEnginesOnly) {
 TEST_F(MultiQueryTest, IrrelevantEventsAreSkippedEntirely) {
   const auto sink = std::make_shared<CollectingTaggedSink>();
   MultiQueryRunner runner(reg_, sink);
-  const QueryId q = runner.add_query("PATTERN SEQ(A a, B b) WITHIN 100",
-                                     EngineKind::kInOrder);
+  const QueryId q = runner.add_query(
+      {"PATTERN SEQ(A a, B b) WITHIN 100", EngineKind::kInOrder});
   for (EventId i = 0; i < 50; ++i) runner.on_event(ev("D", i, 10 + (Timestamp)i));
   runner.finish();
   EXPECT_EQ(runner.events_routed(), 0u);
@@ -59,10 +59,10 @@ TEST_F(MultiQueryTest, IrrelevantEventsAreSkippedEntirely) {
 TEST_F(MultiQueryTest, OverlappingQueriesShareTheScan) {
   const auto sink = std::make_shared<CollectingTaggedSink>();
   MultiQueryRunner runner(reg_, sink);
-  const QueryId q1 = runner.add_query("PATTERN SEQ(A a, B b) WITHIN 100",
-                                      EngineKind::kOoo);
-  const QueryId q2 = runner.add_query("PATTERN SEQ(A x, A y) WITHIN 100",
-                                      EngineKind::kOoo);
+  const QueryId q1 =
+      runner.add_query({"PATTERN SEQ(A a, B b) WITHIN 100", EngineKind::kOoo});
+  const QueryId q2 =
+      runner.add_query({"PATTERN SEQ(A x, A y) WITHIN 100", EngineKind::kOoo});
   runner.on_event(ev("A", 0, 10));
   runner.on_event(ev("A", 1, 20));
   runner.on_event(ev("B", 2, 30));
@@ -76,8 +76,8 @@ TEST_F(MultiQueryTest, NegationQueriesGetClockTicksFromForeignTypes) {
   MultiQueryRunner runner(reg_, sink);
   EngineOptions opt;
   opt.slack = 20;
-  const QueryId q = runner.add_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100",
-                                     EngineKind::kOoo, opt);
+  const QueryId q = runner.add_query(
+      {"PATTERN SEQ(A a, !B b, C c) WITHIN 100", EngineKind::kOoo, opt});
   runner.on_event(ev("A", 0, 10));
   runner.on_event(ev("C", 1, 30));
   EXPECT_EQ(sink->keys_for(q).size(), 0u);  // unsealed: clock=30, K=20
@@ -92,10 +92,11 @@ TEST_F(MultiQueryTest, NegationQueriesGetClockTicksFromForeignTypes) {
 TEST_F(MultiQueryTest, AddQueryAfterStartRejected) {
   const auto sink = std::make_shared<CollectingTaggedSink>();
   MultiQueryRunner runner(reg_, sink);
-  runner.add_query("PATTERN SEQ(A a, B b) WITHIN 10", EngineKind::kOoo);
+  runner.add_query({"PATTERN SEQ(A a, B b) WITHIN 10", EngineKind::kOoo});
   runner.on_event(ev("A", 0, 1));
-  EXPECT_THROW(runner.add_query("PATTERN SEQ(C c, D d) WITHIN 10", EngineKind::kOoo),
-               std::invalid_argument);
+  EXPECT_THROW(
+      runner.add_query({"PATTERN SEQ(C c, D d) WITHIN 10", EngineKind::kOoo}),
+      std::invalid_argument);
 }
 
 TEST_F(MultiQueryTest, ManyQueriesUnderDisorderAllExact) {
@@ -116,7 +117,8 @@ TEST_F(MultiQueryTest, ManyQueriesUnderDisorderAllExact) {
       wl.negation_query(150),
   };
   std::vector<QueryId> ids;
-  for (const auto& q : queries) ids.push_back(runner.add_query(q, EngineKind::kOoo, opt));
+  for (const auto& q : queries)
+    ids.push_back(runner.add_query({q, EngineKind::kOoo, opt}));
   for (const Event& e : arrivals) runner.on_event(e);
   runner.finish();
 

@@ -242,7 +242,7 @@ TEST_F(SessionObsTest, SnapshotMatchesEngineStats) {
   Session session(reg_,
                   SessionConfig{}.engine(EngineKind::kOoo).slack(10).query(kKeyed),
                   sink);
-  for (const Event& e : keyed_stream(8)) session.on_event(e);
+  for (const Event& e : keyed_stream(8)) session.push(e);
   session.close();
 
   ASSERT_TRUE(session.metrics_enabled());
@@ -267,7 +267,7 @@ TEST_F(SessionObsTest, CrossShardAggregationMatchesStatsMerge) {
         reg_,
         SessionConfig{}.engine(EngineKind::kOoo).slack(10).shards(shards).query(kKeyed),
         sink);
-    for (const Event& e : keyed_stream(16)) session.on_event(e);
+    for (const Event& e : keyed_stream(16)) session.push(e);
     session.close();
     return std::pair(session.metrics_snapshot(), session.total_stats());
   };
@@ -300,7 +300,7 @@ TEST_F(SessionObsTest, KSlackBufferInstruments) {
       reg_, SessionConfig{}.engine(EngineKind::kKSlackInOrder).slack(10).query(kKeyed),
       sink);
   const auto events = keyed_stream(4);
-  for (const Event& e : events) session.on_event(e);
+  for (const Event& e : events) session.push(e);
   const MetricsSnapshot mid = session.metrics_snapshot();  // mid-run scrape
   session.close();
   const MetricsSnapshot snap = session.metrics_snapshot();
@@ -317,7 +317,7 @@ TEST_F(SessionObsTest, KSlackBufferInstruments) {
 TEST_F(SessionObsTest, MetricsDisabledSessionStillRuns) {
   const auto sink = std::make_shared<CollectingTaggedSink>();
   Session session(reg_, SessionConfig{}.metrics(false).query(kKeyed), sink);
-  for (const Event& e : keyed_stream(4)) session.on_event(e);
+  for (const Event& e : keyed_stream(4)) session.push(e);
   session.close();
   EXPECT_FALSE(session.metrics_enabled());
   EXPECT_GT(sink->matches().size(), 0u);
@@ -413,7 +413,7 @@ TEST(SessionReporter, PeriodicallyDeliversExposition) {
                       }),
                   sink);
   for (EventId i = 0; i < 200; ++i) {
-    session.on_event(make_event(reg, i % 2 ? "B" : "A", i, Timestamp(i), 0));
+    session.push(make_event(reg, i % 2 ? "B" : "A", i, Timestamp(i), 0));
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
   session.close();
@@ -447,7 +447,7 @@ TEST(ShardLiveness, DeadWorkerSurfacesErrorInsteadOfHanging) {
   bool threw = false;
   try {
     for (EventId i = 0; i < 50'000; ++i)
-      session.on_event(make_event(reg, i % 2 ? "B" : "A", i, Timestamp(i), i % 64));
+      session.push(make_event(reg, i % 2 ? "B" : "A", i, Timestamp(i), i % 64));
     session.close();
   } catch (const std::runtime_error& ex) {
     threw = true;
@@ -471,7 +471,7 @@ TEST(ShardLiveness, BackpressureRetriesAreCounted) {
                   sink);
   ASSERT_TRUE(session.sharded());
   for (EventId i = 0; i < 20'000; ++i)
-    session.on_event(make_event(reg, i % 2 ? "B" : "A", i, Timestamp(i), (i / 2) % 16));
+    session.push(make_event(reg, i % 2 ? "B" : "A", i, Timestamp(i), (i / 2) % 16));
   session.close();
   EXPECT_GT(session.metrics_snapshot().counter("oosp_shard_push_retries_total"), 0u);
   EXPECT_GT(sink->matches().size(), 0u);

@@ -347,7 +347,7 @@ RecoveryRun run_recovery_session(const SyntheticWorkload& wl,
       .query(wl.seq_query(2, true, 200));
   if (hook) cfg.kill_hook(std::move(hook));
   Session session(wl.registry(), cfg, sink);
-  for (const Event& e : arrivals) session.on_event(e);
+  for (const Event& e : arrivals) session.push(e);
   session.close();
 
   RecoveryRun run;
@@ -465,7 +465,7 @@ TEST(SessionClose, IdempotentAndConcurrentWithReporter) {
                       .report_to([&](const std::string&) { ++reports; })
                       .query(wl.seq_query(2, true, 100)),
                   sink);
-  for (const Event& e : arrivals) session.on_event(e);
+  for (const Event& e : arrivals) session.push(e);
 
   // Racing closes: exactly one performs the shutdown, the others block
   // until it is done; the match stream is delivered exactly once.
@@ -487,7 +487,7 @@ TEST(SessionClose, IdempotentAndConcurrentWithReporter) {
                       .slack(50)
                       .query(wl.seq_query(2, true, 100)),
                   sink2);
-    for (const Event& e : arrivals) clean.on_event(e);
+    for (const Event& e : arrivals) clean.push(e);
     clean.close();
   }
   EXPECT_EQ(delivered, sink2->matches().size()) << "double close duplicated output";
@@ -513,7 +513,7 @@ TEST(SessionQuarantine, DrainedAtCloseAndCountedInMetrics) {
                         .checkpoint_every(shards > 1 ? 128 : 0)
                         .query(wl.seq_query(2, true, 100)),
                     sink);
-    for (const Event& e : arrivals) session.on_event(e);
+    for (const Event& e : arrivals) session.push(e);
     session.close();
 
     const auto& quarantined = session.quarantined();
@@ -554,7 +554,7 @@ TEST(SessionRecoveryMetrics, CheckpointAndRecoveryInstrumentsPopulate) {
                       .kill_hook(fault.hook())
                       .query(wl.seq_query(2, true, 100)),
                   sink);
-  for (const Event& e : arrivals) session.on_event(e);
+  for (const Event& e : arrivals) session.push(e);
   session.close();
 
   const MetricsSnapshot snap = session.metrics_snapshot();

@@ -160,10 +160,10 @@ TEST(MultiQueryDelivery, TypeBothPositiveAndNegatedIsDeliveredOnce) {
   EngineOptions opt;
   opt.slack = 10;
   const QueryId q0 = runner.add_query(
-      "PATTERN SEQ(B a, C b) WHERE a.k == b.k WITHIN 100", EngineKind::kOoo, opt);
+      {"PATTERN SEQ(B a, C b) WHERE a.k == b.k WITHIN 100", EngineKind::kOoo, opt});
   const QueryId q1 = runner.add_query(
-      "PATTERN SEQ(A a, !B b, C c) WHERE a.k == b.k AND a.k == c.k WITHIN 100",
-      EngineKind::kOoo, opt);
+      {"PATTERN SEQ(A a, !B b, C c) WHERE a.k == b.k AND a.k == c.k WITHIN 100",
+       EngineKind::kOoo, opt});
 
   std::size_t events = 0, b_or_c = 0;
   EventId id = 0;
@@ -188,10 +188,10 @@ TEST(MultiQueryDelivery, IrrelevantTypeTicksNegationHoldersOnly) {
   const TypeRegistry reg = make_abcd_registry();
   const auto sink = std::make_shared<CollectingTaggedSink>();
   MultiQueryRunner runner(reg, sink);
-  const QueryId q_pos = runner.add_query("PATTERN SEQ(A a, B b) WITHIN 100",
-                                         EngineKind::kOoo, EngineOptions{});
-  const QueryId q_neg = runner.add_query("PATTERN SEQ(A a, !B b, C c) WITHIN 100",
-                                         EngineKind::kOoo, EngineOptions{});
+  const QueryId q_pos = runner.add_query(
+      {"PATTERN SEQ(A a, B b) WITHIN 100", EngineKind::kOoo, EngineOptions{}});
+  const QueryId q_neg = runner.add_query(
+      {"PATTERN SEQ(A a, !B b, C c) WITHIN 100", EngineKind::kOoo, EngineOptions{}});
   runner.on_event(make_event(reg, "D", 0, 10));  // relevant to neither pattern
   runner.finish();
   EXPECT_EQ(runner.stats(q_pos).events_seen, 0u);  // no tick needed, none sent
@@ -215,7 +215,7 @@ std::vector<std::pair<QueryId, MatchKey>> run_session(const SyntheticWorkload& w
                       .query(wl.seq_query(2, true, 400))
                       .query(wl.seq_query(3, true, 800)),
                   sink);
-  for (const Event& e : arrivals) session.on_event(e);
+  for (const Event& e : arrivals) session.push(e);
   session.finish();
   if (got_shards) *got_shards = session.shard_count();
   std::vector<std::pair<QueryId, MatchKey>> out;
@@ -264,7 +264,7 @@ TEST(SessionSharded, ShardedMatchesAreExact) {
                       .shards(4)
                       .query(wl.seq_query(2, true, 300)),
                   sink);
-  for (const Event& e : arrivals) session.on_event(e);
+  for (const Event& e : arrivals) session.push(e);
   session.finish();
   ASSERT_EQ(session.shard_count(), 4u) << session.shard_fallback_reason();
 
@@ -298,8 +298,8 @@ TEST(SessionSharded, UnshardableQueryFallsBackToSingleShard) {
   EXPECT_FALSE(session.sharded());
   EXPECT_FALSE(session.shard_fallback_reason().empty());
 
-  session.on_event(make_event(reg, "A", 0, 10));
-  session.on_event(make_event(reg, "B", 1, 20));
+  session.push(make_event(reg, "A", 0, 10));
+  session.push(make_event(reg, "B", 1, 20));
   session.finish();
   EXPECT_EQ(sink->matches().size(), 1u);
 }
@@ -314,12 +314,12 @@ TEST(SessionSharded, PerQueryEngineOverridesApply) {
                       .engine(EngineKind::kOoo)
                       .slack(100)
                       .query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 50")
-                      .query("PATTERN SEQ(A a, C c) WHERE a.k == c.k WITHIN 50",
-                             EngineKind::kInOrder, tight),
+                      .query({"PATTERN SEQ(A a, C c) WHERE a.k == c.k WITHIN 50",
+                              EngineKind::kInOrder, tight}),
                   sink);
-  session.on_event(make_event(reg, "A", 0, 10, 1));
-  session.on_event(make_event(reg, "B", 1, 20, 1));
-  session.on_event(make_event(reg, "C", 2, 30, 1));
+  session.push(make_event(reg, "A", 0, 10, 1));
+  session.push(make_event(reg, "B", 1, 20, 1));
+  session.push(make_event(reg, "C", 2, 30, 1));
   session.finish();
   EXPECT_EQ(sink->keys_for(0).size(), 1u);
   EXPECT_EQ(sink->keys_for(1).size(), 1u);
