@@ -1,0 +1,232 @@
+// Experiment R-R3 — overload control: recall vs offered load per
+// shedding policy, and the producer-latency bound each policy buys.
+//
+// The harness pins the consumer at a fixed per-event cost (busy-wait
+// delay hook on every shard worker) and paces the producer at a
+// multiple of the fleet's sustainable drain rate: load:1x is roughly
+// balanced, load:2x and load:4x are sustained overload. The offered
+// stream is bimodally late — most events arrive perfectly fresh, ~35%
+// arrive 400 stream-time units behind the high-water mark — and the
+// engines run slack 150 with LatePolicy::kDrop, so the stragglers can
+// never contribute matches even when admitted. That is precisely the
+// structure quality-driven shedding exploits:
+//
+//   block            sheds nothing; the producer is paced by the
+//                    consumer (backpressure) — the recall ceiling and
+//                    the latency floor of nothing-bounded.
+//   shed-newest      bounded producer latency, quality-blind losses:
+//                    recall collapses with offered load.
+//   shed-by-lateness bounded producer latency, losses priced by the
+//                    lateness distribution: sheds the already-doomed
+//                    stragglers first, so recall stays near the block
+//                    ceiling until genuine fresh capacity runs out.
+//   fail             refuses instead of degrading: bounded wait, then
+//                    OverloadError (with a live consumer the bounded
+//                    wait always finds room, so it behaves like paced
+//                    backpressure here).
+//
+// Per-case counters: p50/p99/max producer push latency (us), offered
+// ev/s, sheds (+ forced sheds), recall vs the oracle over the FULL
+// offered stream, matches. CI floor check (fault-soak job): at the
+// highest load, recall(shed-by-lateness) >= recall(shed-newest).
+//
+// Short mode for CI soak: OOSP_BENCH_SHORT=1 shrinks the stream so the
+// binary finishes in seconds under sanitizers.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "engine/oracle/oracle.hpp"
+#include "runtime/overload.hpp"
+#include "runtime/session.hpp"
+#include "runtime/verify.hpp"
+
+namespace {
+
+using namespace oosp;
+
+bool short_mode() {
+  const char* v = std::getenv("OOSP_BENCH_SHORT");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+constexpr std::size_t kShards = 2;
+constexpr const char* kQuery = "PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 50";
+constexpr Timestamp kLateBy = 400;
+// Per-event consumer cost; the sustainable fleet rate is kShards events
+// per kConsumerCost.
+constexpr std::chrono::microseconds kConsumerCost{30};
+
+std::size_t stream_size() { return short_mode() ? 6'000 : 40'000; }
+
+// Busy-wait: sleep_for's wakeup overhead dwarfs microsecond pacing.
+void spin_for(std::chrono::steady_clock::duration d) {
+  const auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TypeRegistry make_registry() {
+  TypeRegistry reg;
+  const Schema s({{"k", ValueType::kInt}, {"v", ValueType::kInt}});
+  reg.register_type("A", s);
+  reg.register_type("B", s);
+  return reg;
+}
+
+// Bimodal arrival stream: A/B pairs keyed over 64 partitions, stream
+// time advancing 2 per arrival, ~35% of events 400 late.
+std::vector<Event> make_offered(const TypeRegistry& reg, std::size_t n) {
+  std::vector<Event> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Timestamp base = static_cast<Timestamp>(i) * 2;
+    const bool late = (i % 20) < 7 && base >= kLateBy;
+    Event e;
+    e.type = reg.lookup((i % 2 == 0) ? "A" : "B");
+    e.id = static_cast<EventId>(i);
+    e.ts = late ? base - kLateBy : base;
+    e.attrs = {Value(static_cast<std::int64_t>((i / 2) % 64)), Value(0)};
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+struct Fixture {
+  TypeRegistry reg = make_registry();
+  std::vector<Event> offered;
+  std::vector<MatchKey> oracle;  // sorted, over the full offered stream
+};
+
+const Fixture& fixture() {
+  static const Fixture fx = [] {
+    Fixture f;
+    f.offered = make_offered(f.reg, stream_size());
+    const CompiledQuery q = compile_query(kQuery, f.reg);
+    f.oracle = oracle_keys(q, f.offered);
+    std::sort(f.oracle.begin(), f.oracle.end());
+    return f;
+  }();
+  return fx;
+}
+
+void run_case(benchmark::State& state, OverloadPolicy policy, int load_mult) {
+  const Fixture& fx = fixture();
+  OverloadConfig cfg;
+  cfg.policy = policy;
+  cfg.fresh_wait = std::chrono::microseconds(5'000);
+  cfg.fail_deadline = std::chrono::milliseconds(100);
+  // ~35% stragglers: the 0.6-quantile of lateness sits in the fresh
+  // mode, so the refreshed cut prices the straggler mode out.
+  cfg.shed_quantile = 0.6;
+
+  // Producer pacing: the fleet drains kShards events per kConsumerCost,
+  // so offered = sustainable * load_mult.
+  const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            kConsumerCost) /
+                        (kShards * load_mult);
+
+  double p50 = 0, p99 = 0, pmax = 0, evps = 0, recall = 0;
+  std::uint64_t sheds = 0, forced = 0, matches = 0, failed = 0;
+  std::vector<std::uint32_t> push_us(fx.offered.size(), 0);
+
+  for (auto _ : state) {
+    const auto sink = std::make_shared<CollectingTaggedSink>();
+    Session session(fx.reg,
+                    SessionConfig{}
+                        .engine(EngineKind::kOoo)
+                        .slack(150)
+                        .late_policy(LatePolicy::kDrop)
+                        .shards(kShards)
+                        .queue_capacity(64)
+                        .overload(cfg)
+                        .delay_hook([](const Event&) { spin_for(kConsumerCost); })
+                        .query(kQuery),
+                    sink);
+    if (session.shard_count() != kShards)
+      state.SkipWithError(session.shard_fallback_reason().c_str());
+
+    failed = 0;
+    const auto run0 = std::chrono::steady_clock::now();
+    auto next = run0;
+    std::size_t pushed = 0;
+    try {
+      for (const Event& e : fx.offered) {
+        const auto t0 = std::chrono::steady_clock::now();
+        session.push(e);
+        const auto t1 = std::chrono::steady_clock::now();
+        push_us[pushed++] = static_cast<std::uint32_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+        next += interval;
+        if (t1 < next) spin_for(next - t1);
+      }
+    } catch (const OverloadError&) {
+      failed = 1;  // kFail refused the load; score what was offered
+    }
+    const double offered_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - run0)
+            .count();
+    session.close();
+
+    std::vector<std::uint32_t> lat(push_us.begin(),
+                                   push_us.begin() + static_cast<std::ptrdiff_t>(pushed));
+    if (!lat.empty()) {
+      const auto nth = [&](double q) {
+        const std::size_t r = std::min(lat.size() - 1,
+                                       static_cast<std::size_t>(q * static_cast<double>(lat.size())));
+        std::nth_element(lat.begin(), lat.begin() + static_cast<std::ptrdiff_t>(r), lat.end());
+        return static_cast<double>(lat[r]);
+      };
+      p50 = nth(0.50);
+      p99 = nth(0.99);
+      pmax = static_cast<double>(*std::max_element(lat.begin(), lat.end()));
+    }
+    evps = offered_secs > 0.0 ? static_cast<double>(pushed) / offered_secs : 0.0;
+    sheds = session.overload_shed();
+    forced = session.metrics_snapshot().counter("oosp_overload_shed_forced_total");
+    matches = sink->matches().size();
+    const VerifyResult v = compare_keys(fx.oracle, sink->keys_for(0));
+    recall = v.recall();
+    benchmark::DoNotOptimize(matches);
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fx.offered.size()));
+  state.counters["p50_push_us"] = benchmark::Counter(p50);
+  state.counters["p99_push_us"] = benchmark::Counter(p99);
+  state.counters["max_push_us"] = benchmark::Counter(pmax);
+  state.counters["ev/s"] = benchmark::Counter(evps);
+  state.counters["sheds"] = benchmark::Counter(static_cast<double>(sheds));
+  state.counters["forced"] = benchmark::Counter(static_cast<double>(forced));
+  state.counters["matches"] = benchmark::Counter(static_cast<double>(matches));
+  state.counters["recall"] = benchmark::Counter(recall);
+  state.counters["refused"] = benchmark::Counter(static_cast<double>(failed));
+}
+
+#define OOSP_OVERLOAD_CASE(fn, policy, mult, name)                        \
+  void fn(benchmark::State& s) { run_case(s, policy, mult); }             \
+  BENCHMARK(fn)->Name(name)->Unit(benchmark::kMillisecond)->Iterations(1)
+
+OOSP_OVERLOAD_CASE(bench_block_1x, OverloadPolicy::kBlock, 1, "Overload/block/load:1x");
+OOSP_OVERLOAD_CASE(bench_block_2x, OverloadPolicy::kBlock, 2, "Overload/block/load:2x");
+OOSP_OVERLOAD_CASE(bench_block_4x, OverloadPolicy::kBlock, 4, "Overload/block/load:4x");
+OOSP_OVERLOAD_CASE(bench_newest_1x, OverloadPolicy::kShedNewest, 1, "Overload/newest/load:1x");
+OOSP_OVERLOAD_CASE(bench_newest_2x, OverloadPolicy::kShedNewest, 2, "Overload/newest/load:2x");
+OOSP_OVERLOAD_CASE(bench_newest_4x, OverloadPolicy::kShedNewest, 4, "Overload/newest/load:4x");
+OOSP_OVERLOAD_CASE(bench_lateness_1x, OverloadPolicy::kShedByLateness, 1,
+                   "Overload/by-lateness/load:1x");
+OOSP_OVERLOAD_CASE(bench_lateness_2x, OverloadPolicy::kShedByLateness, 2,
+                   "Overload/by-lateness/load:2x");
+OOSP_OVERLOAD_CASE(bench_lateness_4x, OverloadPolicy::kShedByLateness, 4,
+                   "Overload/by-lateness/load:4x");
+OOSP_OVERLOAD_CASE(bench_fail_2x, OverloadPolicy::kFail, 2, "Overload/fail/load:2x");
+
+#undef OOSP_OVERLOAD_CASE
+
+}  // namespace
+
+BENCHMARK_MAIN();

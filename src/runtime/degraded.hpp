@@ -43,8 +43,12 @@ struct DegradedAccounting {
   std::uint64_t dropped_events = 0;
   // Matches salvaged from dropped shards' checkpoint-stable output.
   std::uint64_t stable_matches_kept = 0;
+  // Events shed at admission by overload control (runtime/overload.hpp):
+  // never admitted, never backed up, never replayed — the quantified gap
+  // between the offered stream and the one the engines actually saw.
+  std::uint64_t shed_events = 0;
 
-  bool degraded() const noexcept { return dropped_shards > 0; }
+  bool degraded() const noexcept { return dropped_shards > 0 || shed_events > 0; }
 };
 
 // Applies `faults` to `clean_ordered` (a ts-ordered stream), feeds the

@@ -1,0 +1,115 @@
+#include "runtime/overload.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace oosp {
+
+std::string_view to_string(OverloadPolicy p) noexcept {
+  switch (p) {
+    case OverloadPolicy::kBlock: return "block";
+    case OverloadPolicy::kShedNewest: return "shed-newest";
+    case OverloadPolicy::kShedByLateness: return "shed-by-lateness";
+    case OverloadPolicy::kFail: return "fail";
+  }
+  return "?";
+}
+
+std::string_view to_string(Pressure p) noexcept {
+  switch (p) {
+    case Pressure::kOk: return "ok";
+    case Pressure::kWarn: return "warn";
+    case Pressure::kShed: return "shed";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t depth_threshold(double fraction, std::size_t capacity) {
+  const double clamped = std::min(1.0, std::max(0.0, fraction));
+  return static_cast<std::size_t>(clamped * static_cast<double>(capacity));
+}
+
+}  // namespace
+
+OverloadMonitor::OverloadMonitor(const OverloadConfig& config,
+                                 std::size_t queue_capacity, MetricsRegistry* metrics)
+    : config_(config),
+      capacity_(queue_capacity),
+      warn_depth_(depth_threshold(config.warn_fraction, queue_capacity)),
+      shed_depth_(depth_threshold(config.shed_fraction, queue_capacity)),
+      lateness_(config.estimator) {
+  // A full ring is kShed regardless of how permissive the fractions are.
+  warn_depth_ = std::min(warn_depth_, capacity_);
+  shed_depth_ = std::min(std::max(shed_depth_, warn_depth_), capacity_);
+  if (metrics) {
+    pressure_ = metrics->gauge("oosp_overload_pressure", GaugeAgg::kMax,
+                               "graded overload pressure (0=ok 1=warn 2=shed)");
+    cut_obs_ = metrics->gauge("oosp_overload_lateness_cut", GaugeAgg::kMax,
+                              "current shed-by-lateness cut in stream time");
+    shed_ = metrics->counter("oosp_overload_shed_total",
+                             "events shed at admission by overload control");
+    shed_forced_ = metrics->counter(
+        "oosp_overload_shed_forced_total",
+        "below-cut events shed after the bounded wait expired");
+  }
+}
+
+void OverloadMonitor::observe(Timestamp lateness) {
+  lateness_.observe(lateness);
+  const std::size_t period = std::max<std::size_t>(1, config_.estimator.refresh_period);
+  if (++since_refresh_ >= period) {
+    since_refresh_ = 0;
+    refresh_cut();
+  }
+}
+
+void OverloadMonitor::refresh_cut() {
+  // The scale the lag factors multiply: the median lateness of recent
+  // arrivals, floored at 1 so in-order streams still get a meaningful
+  // lag threshold.
+  scale_ = std::max<Timestamp>(1, lateness_.quantile(0.5));
+  const Timestamp target = std::max<Timestamp>(1, lateness_.quantile(config_.shed_quantile));
+  // AIMD recovery: while pressure stays benign, relax the cut toward the
+  // quantile target (halved cuts from forced sheds decay back). Under
+  // pressure the cut only tightens — forced sheds drive it down.
+  if (last_ == Pressure::kOk) {
+    // Doubling guard: past target/2 the next double would overshoot (or,
+    // from the kMaxTimestamp start, overflow) — snap to the target.
+    cut_ = cut_ >= target / 2 ? target : cut_ * 2 + 1;
+  } else {
+    cut_ = std::min(cut_, target);
+  }
+  if (cut_obs_) cut_obs_->set(static_cast<std::int64_t>(std::min<Timestamp>(
+      cut_, std::numeric_limits<std::int64_t>::max())));
+}
+
+Pressure OverloadMonitor::assess(std::size_t depth, Timestamp lag) {
+  Pressure p = Pressure::kOk;
+  if (depth >= capacity_ || depth >= shed_depth_) {
+    p = Pressure::kShed;
+  } else if (depth >= warn_depth_) {
+    p = Pressure::kWarn;
+  }
+  // Watermark lag escalates independently: a slow consumer shows here
+  // before its queue fills (the producer outruns it in stream time).
+  if (lag > 0 && p != Pressure::kShed) {
+    const double scaled = static_cast<double>(lag) / static_cast<double>(scale_);
+    if (scaled >= config_.lag_shed_factor) {
+      p = Pressure::kShed;
+    } else if (scaled >= config_.lag_warn_factor && p == Pressure::kOk) {
+      p = Pressure::kWarn;
+    }
+  }
+  last_ = p;
+  if (pressure_) pressure_->set(static_cast<std::int64_t>(p));
+  return p;
+}
+
+void OverloadMonitor::note_forced_shed() {
+  cut_ = std::max<Timestamp>(1, cut_ / 2);
+  if (cut_obs_) cut_obs_->set(static_cast<std::int64_t>(cut_));
+}
+
+}  // namespace oosp

@@ -43,7 +43,8 @@ Session::Session(const TypeRegistry& registry, SessionConfig config,
   if (shards > 1) {
     sharded_runner_ = std::make_unique<ShardedRunner>(
         registry_, specs_, shards, *partition, config.queue_capacity_,
-        metrics_.get(), std::move(config.recovery_), config.share_scans_);
+        metrics_.get(), std::move(config.recovery_), config.share_scans_,
+        std::move(config.overload_));
   } else {
     // Single-shard path collects into the same kind of sink a shard
     // uses, so finish() runs the identical canonical-order delivery.
@@ -89,6 +90,12 @@ void Session::push_batch(std::span<const Event> batch) {
 void Session::finish() {
   if (finished_) return;
   finished_ = true;
+
+  // Join the reporter before touching end-of-stream state: the drain
+  // below mutates quarantined_ and then bumps the drained counter, and a
+  // reporter scrape landing between the two would publish a snapshot
+  // where the quarantine totals disagree with each other.
+  stop_reporter();
 
   std::vector<TaggedMatch> matches;
   std::vector<TaggedMatch> retractions;
@@ -169,6 +176,15 @@ std::size_t Session::dropped_shards() const noexcept {
 
 DegradedAccounting Session::degraded_accounting() const noexcept {
   return sharded_runner_ ? sharded_runner_->degraded_accounting() : DegradedAccounting{};
+}
+
+std::uint64_t Session::overload_shed() const noexcept {
+  return sharded_runner_ ? sharded_runner_->shed_events_total() : 0;
+}
+
+std::uint64_t Session::overload_shed(QueryId id) const {
+  OOSP_REQUIRE(id < specs_.size(), "query id out of range");
+  return sharded_runner_ ? sharded_runner_->shed_events(id) : 0;
 }
 
 MetricsSnapshot Session::metrics_snapshot() const {

@@ -176,6 +176,31 @@ class SessionConfig {
     recovery_.kill_hook = std::move(hook);
     return *this;
   }
+  // Fault injection: slow-consumer hook, run by each shard worker for
+  // every event it processes. The overload test/bench harness.
+  SessionConfig& delay_hook(WorkerDelayHook hook) {
+    recovery_.delay_hook = std::move(hook);
+    return *this;
+  }
+
+  // ---- Overload control (sharded mode only; see runtime/overload.hpp).
+  // The default policy (OverloadPolicy::kBlock) is the pre-existing
+  // unbounded backpressure spin. The shedding policies bound producer
+  // push latency by dropping events AT ADMISSION — never inside engines,
+  // so checkpoint/replay and exactly-once delivery of admitted events
+  // are untouched; kFail bounds it by throwing OverloadError instead.
+  // Every shed is accounted: overload_shed(), degraded_accounting(),
+  // and the oosp_overload_* instruments. Inert when the session falls
+  // back to single-shard execution (no ingress queue to overload).
+  SessionConfig& overload(OverloadConfig cfg) {
+    overload_ = std::move(cfg);
+    return *this;
+  }
+  // Convenience: set just the policy, keeping the tuning defaults.
+  SessionConfig& overload_policy(OverloadPolicy policy) {
+    overload_.policy = policy;
+    return *this;
+  }
 
   // Registers a query. Ids are assigned densely in declaration order.
   // A bare string converts implicitly; `{text, kind}` and
@@ -204,6 +229,7 @@ class SessionConfig {
   std::size_t queue_capacity_ = 64 * 1024;
   bool share_scans_ = true;
   RecoveryConfig recovery_;
+  OverloadConfig overload_;
   bool metrics_ = true;
   std::chrono::milliseconds report_every_{0};
   std::function<void(const std::string&)> report_to_;
@@ -281,6 +307,12 @@ class Session {
   std::uint64_t replayed_events() const noexcept;
   std::size_t dropped_shards() const noexcept;
   DegradedAccounting degraded_accounting() const noexcept;
+
+  // Overload accounting (sharded mode; zero otherwise). The per-query
+  // view attributes each shed event to every query whose pattern
+  // references the event's type.
+  std::uint64_t overload_shed() const noexcept;
+  std::uint64_t overload_shed(QueryId id) const;
 
   // Observability. The registry outlives every engine (Session member
   // order); snapshot/text may be called at any time, including mid-run.

@@ -82,16 +82,23 @@ ShardedRunner::ShardedRunner(const TypeRegistry& registry,
                              std::vector<ShardQuerySpec> specs, std::size_t num_shards,
                              PartitionSpec partition, std::size_t queue_capacity,
                              MetricsRegistry* metrics, RecoveryConfig recovery,
-                             bool share_scans)
+                             bool share_scans, OverloadConfig overload)
     : registry_(registry),
       specs_(std::move(specs)),
       partition_(partition),
       queue_capacity_(queue_capacity),
       recovery_(std::move(recovery)),
-      share_scans_(share_scans) {
+      share_scans_(share_scans),
+      overload_(overload) {
   OOSP_REQUIRE(num_shards >= 1, "ShardedRunner needs at least one shard");
   if (recovery_.enabled())
     backup_capacity_ = 2 * recovery_.checkpoint_every + queue_capacity_;
+  // Per-query shed attribution: which queries consume each event type.
+  shed_by_query_.assign(specs_.size(), 0);
+  queries_by_type_.assign(registry_.size(), {});
+  for (QueryId q = 0; q < specs_.size(); ++q)
+    for (TypeId t = 0; t < registry_.size(); ++t)
+      if (specs_[q].query->relevant(t)) queries_by_type_[t].push_back(q);
   if (metrics) {
     push_retries_ = metrics->counter("oosp_shard_push_retries_total");
     worker_failures_ = metrics->counter("oosp_shard_worker_failures_total");
@@ -111,6 +118,7 @@ ShardedRunner::ShardedRunner(const TypeRegistry& registry,
   shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
+    shard->index = s;
     shard->queue = std::make_unique<SpscQueue<Event>>(queue_capacity);
     shard->sink = std::make_shared<CollectingTaggedSink>();
     shard->runner =
@@ -126,6 +134,9 @@ ShardedRunner::ShardedRunner(const TypeRegistry& registry,
       shard->merge_occupancy =
           metrics->gauge("oosp_shard_merge_occupancy", GaugeAgg::kSum);
     }
+    if (overload_.active())
+      shard->monitor = std::make_unique<OverloadMonitor>(
+          overload_, shard->queue->capacity(), metrics);
     shards_.push_back(std::move(shard));
   }
   // Start the workers only after every runner is fully built; the thread
@@ -152,7 +163,14 @@ void ShardedRunner::worker_loop(Shard& shard) {
     constexpr std::size_t kWorkerBatch = 256;
     std::vector<Event> buf(kWorkerBatch);
     SpinBackoff backoff;
+    Timestamp consumed_hwm = shard.consumed_clock.load(std::memory_order_relaxed);
     for (;;) {
+      // Occupancy is sampled BEFORE the pop: a genuine size_approx()
+      // reading is always within [0, capacity]. Reconstructing it after
+      // the pop as size_approx() + n raced the producer refilling the
+      // freed slots and could transiently exceed the capacity.
+      const std::size_t depth =
+          shard.queue_depth ? shard.queue->size_approx() : 0;
       const std::size_t n = shard.queue->try_pop_n(buf.data(), buf.size());
       if (n > 0) {
         backoff.reset();
@@ -162,8 +180,7 @@ void ShardedRunner::worker_loop(Shard& shard) {
           const Timestamp newest = global_clock_.load(std::memory_order_relaxed);
           if (newest != kMinTimestamp && newest > buf[0].ts)
             shard.watermark_lag->set(newest - buf[0].ts);
-          shard.queue_depth->set(
-              static_cast<std::int64_t>(shard.queue->size_approx() + n));
+          shard.queue_depth->set(static_cast<std::int64_t>(depth));
         }
         for (std::size_t i = 0; i < n; ++i) {
           const Event& e = buf[i];
@@ -173,11 +190,16 @@ void ShardedRunner::worker_loop(Shard& shard) {
           // processed die with this incarnation; their consumed count was
           // never advanced, so replay covers them too.)
           if (recovery_.kill_hook && recovery_.kill_hook(e)) throw WorkerKilled(e.id);
+          if (recovery_.delay_hook) recovery_.delay_hook(e);
           shard.runner->on_event(e);
           ++shard.consumed;
+          if (e.ts > consumed_hwm) consumed_hwm = e.ts;
           if (recovery_.enabled() && shard.consumed % recovery_.checkpoint_every == 0)
             checkpoint_shard(shard);
         }
+        // Progress signal for the producer's overload monitor: the
+        // newest stream time this shard has processed.
+        shard.consumed_clock.store(consumed_hwm, std::memory_order_relaxed);
         if (shard.merge_occupancy)
           shard.merge_occupancy->set(
               static_cast<std::int64_t>(shard.sink->matches().size()));
@@ -345,6 +367,7 @@ bool ShardedRunner::supervise_dead_shard(Shard& shard) {
         // spent. Transient faults (WorkerKillFault fires once per
         // victim) kill at most one attempt and then converge.
         if (recovery_.kill_hook && recovery_.kill_hook(ev)) throw WorkerKilled(ev.id);
+        if (recovery_.delay_hook) recovery_.delay_hook(ev);
         shard.runner->on_event(ev);
         ++replayed;
       }
@@ -383,6 +406,84 @@ void ShardedRunner::rethrow_worker_error(const Shard& shard) {
   std::rethrow_exception(shard.error);
 }
 
+void ShardedRunner::account_shed(Shard& shard, const Event& e, bool forced) {
+  ++degraded_.shed_events;
+  if (e.type < queries_by_type_.size())
+    for (const QueryId q : queries_by_type_[e.type]) ++shed_by_query_[q];
+  if (Counter* c = shard.monitor->shed_counter()) c->inc();
+  if (forced)
+    if (Counter* c = shard.monitor->forced_shed_counter()) c->inc();
+}
+
+bool ShardedRunner::wait_for_room(Shard& shard,
+                                  std::chrono::steady_clock::duration deadline) {
+  const auto give_up = std::chrono::steady_clock::now() + deadline;
+  SpinBackoff backoff;
+  while (shard.queue->size_approx() >= shard.queue->capacity()) {
+    // A dead worker never drains; report "room" so the caller falls
+    // through to the blocking push, the single owner of dead-worker
+    // handling (rethrow / supervise).
+    if (shard.dead.load(std::memory_order_acquire)) return true;
+    if (std::chrono::steady_clock::now() >= give_up) return false;
+    if (push_retries_) push_retries_->inc();
+    backoff.pause();
+  }
+  return true;
+}
+
+bool ShardedRunner::overload_admit(Shard& shard, const Event& e) {
+  OverloadMonitor& mon = *shard.monitor;
+  // route_event advanced the clock past e.ts already, so lateness >= 0.
+  const Timestamp clock = global_clock_.load(std::memory_order_relaxed);
+  const Timestamp lateness = clock > e.ts ? clock - e.ts : 0;
+  mon.observe(lateness);
+  const std::size_t depth = shard.queue->size_approx();
+  const Timestamp consumed = shard.consumed_clock.load(std::memory_order_relaxed);
+  const Timestamp lag =
+      (consumed != kMinTimestamp && clock > consumed) ? clock - consumed : 0;
+  const Pressure p = mon.assess(depth, lag);
+  // The producer is the ring's only writer, so "not full" cannot be
+  // stolen out from under us: once size_approx() < capacity the
+  // subsequent try_push is guaranteed to succeed.
+  const bool full = depth >= shard.queue->capacity();
+  switch (overload_.policy) {
+    case OverloadPolicy::kBlock:
+      break;
+    case OverloadPolicy::kShedNewest:
+      // Quality-blind: the arriving (newest) event is dropped the moment
+      // the ring is full. Tightest producer-latency bound.
+      if (full && !shard.dead.load(std::memory_order_acquire)) {
+        account_shed(shard, e, false);
+        return true;
+      }
+      break;
+    case OverloadPolicy::kShedByLateness:
+      // Price the event first: under pressure, arrivals past the
+      // adaptive cut are shed pre-emptively — before the ring is even
+      // full — leaving the remaining capacity to the fresh events that
+      // still have sealed results ahead of them.
+      if (mon.shed_late(lateness, p)) {
+        account_shed(shard, e, false);
+        return true;
+      }
+      if (full && !wait_for_room(shard, overload_.fresh_wait)) {
+        // A fresh event hit the deadline: the cut is too permissive for
+        // the offered load. Shed it (bounded latency wins) and tighten.
+        mon.note_forced_shed();
+        account_shed(shard, e, true);
+        return true;
+      }
+      break;
+    case OverloadPolicy::kFail:
+      if (full && !wait_for_room(shard, overload_.fail_deadline))
+        throw OverloadError(shard.index,
+                            std::chrono::duration_cast<std::chrono::milliseconds>(
+                                overload_.fail_deadline));
+      break;
+  }
+  return false;
+}
+
 void ShardedRunner::push_blocking(Shard& shard, Event e) {
   if (shard.dropped) {
     ++shard.dropped_events;
@@ -401,6 +502,11 @@ void ShardedRunner::push_blocking(Shard& shard, Event e) {
       return;
     }
   }
+  // Overload admission BEFORE the backup: a shed event never enters the
+  // execution stack at all — no backup entry, no replay, no checkpoint
+  // interaction — so exactly-once delivery of admitted events is
+  // untouched by shedding.
+  if (shard.monitor && overload_admit(shard, e)) return;
   // Admit to the upstream backup BEFORE the queue: from this point on a
   // worker death replays the event from the backup, so it can never be
   // stranded in a dead incarnation's queue.
@@ -432,19 +538,81 @@ void ShardedRunner::push_blocking(Shard& shard, Event e) {
 void ShardedRunner::push_batch_blocking(Shard& shard, std::vector<Event>& events) {
   // Recovery is off on this path (on_batch falls back to per-event
   // routing when it is on), so the only liveness hazard is a dead,
-  // never-draining consumer — same fail-fast contract as push_blocking,
-  // including the up-front check while the ring still has room.
-  if (shard.dead.load(std::memory_order_acquire)) rethrow_worker_error(shard);
+  // never-draining consumer — same fail-fast contract as push_blocking.
+  //
+  // Overload admission runs at batch granularity: lateness is observed
+  // per event but pressure is graded once at entry (against the clock
+  // high-water mark the staging loop already advanced), and under
+  // kShedByLateness the priced-out late events are filtered before any
+  // ring transaction, so the ring transactions stay bulk-sized.
+  if (shard.monitor) {
+    OverloadMonitor& mon = *shard.monitor;
+    const Timestamp clock = global_clock_.load(std::memory_order_relaxed);
+    for (const Event& e : events)
+      mon.observe(clock > e.ts ? clock - e.ts : 0);
+    const Timestamp consumed = shard.consumed_clock.load(std::memory_order_relaxed);
+    const Timestamp lag =
+        (consumed != kMinTimestamp && clock > consumed) ? clock - consumed : 0;
+    const Pressure p = mon.assess(shard.queue->size_approx(), lag);
+    if (overload_.policy == OverloadPolicy::kShedByLateness &&
+        p >= Pressure::kWarn) {
+      auto keep = events.begin();
+      for (auto it = events.begin(); it != events.end(); ++it) {
+        const Timestamp lateness = clock > it->ts ? clock - it->ts : 0;
+        if (mon.shed_late(lateness, p)) {
+          account_shed(shard, *it, false);
+        } else {
+          if (keep != it) *keep = std::move(*it);
+          ++keep;
+        }
+      }
+      events.erase(keep, events.end());
+    }
+  }
   std::span<Event> rest(events);
   SpinBackoff backoff;
   while (!rest.empty()) {
+    // Dead-worker fail-fast parity with the scalar path: checked on
+    // EVERY iteration, before each ring transaction — including after a
+    // partial push — so a worker killed mid-batch surfaces its error
+    // here instead of the producer quietly filling (or spinning on) a
+    // queue nobody will ever drain.
+    if (shard.dead.load(std::memory_order_acquire)) rethrow_worker_error(shard);
     const std::size_t n = shard.queue->try_push_n(rest);
     if (n > 0) {
       rest = rest.subspan(n);
+      // Occupancy sample for the depth gauge, taken AFTER the chunk
+      // landed — a genuine reading, never above capacity.
+      if (shard.queue_depth)
+        shard.queue_depth->set(
+            static_cast<std::int64_t>(shard.queue->size_approx()));
       backoff.reset();
       continue;
     }
-    if (shard.dead.load(std::memory_order_acquire)) rethrow_worker_error(shard);
+    // Ring full with a live worker: apply the overload policy to the
+    // unpushed remainder (the newest events of the batch).
+    if (shard.monitor) {
+      switch (overload_.policy) {
+        case OverloadPolicy::kBlock:
+          break;
+        case OverloadPolicy::kShedNewest:
+          for (const Event& e : rest) account_shed(shard, e, false);
+          return;
+        case OverloadPolicy::kShedByLateness:
+          if (!wait_for_room(shard, overload_.fresh_wait)) {
+            shard.monitor->note_forced_shed();
+            for (const Event& e : rest) account_shed(shard, e, true);
+            return;
+          }
+          continue;  // room appeared (or the worker died; loop-top check)
+        case OverloadPolicy::kFail:
+          if (!wait_for_room(shard, overload_.fail_deadline))
+            throw OverloadError(shard.index,
+                                std::chrono::duration_cast<std::chrono::milliseconds>(
+                                    overload_.fail_deadline));
+          continue;
+      }
+    }
     if (push_retries_) push_retries_->inc();
     backoff.pause();
   }

@@ -49,6 +49,7 @@
 #include "obs/metrics.hpp"
 #include "runtime/degraded.hpp"
 #include "runtime/multi_query.hpp"
+#include "runtime/overload.hpp"
 #include "stream/faults.hpp"
 
 namespace oosp {
@@ -128,6 +129,11 @@ struct RecoveryConfig {
   // WorkerKillFault::hook() fires once per victim) kill at most one
   // attempt each and recovery converges.
   WorkerKillHook kill_hook;
+  // Fault injection: slow-consumer throttle, invoked for every event a
+  // worker is about to process (live loop and recovery replay alike).
+  // Like kill_hook it is consulted regardless of enabled() — it injects
+  // a consumer-side fault, not a recovery behavior.
+  WorkerDelayHook delay_hook;
 
   bool enabled() const noexcept { return checkpoint_every > 0; }
 };
@@ -149,17 +155,19 @@ class ShardedRunner {
                 std::size_t num_shards, PartitionSpec partition,
                 std::size_t queue_capacity = 64 * 1024,
                 MetricsRegistry* metrics = nullptr, RecoveryConfig recovery = {},
-                bool share_scans = true);
+                bool share_scans = true, OverloadConfig overload = {});
   ~ShardedRunner();
 
   ShardedRunner(const ShardedRunner&) = delete;
   ShardedRunner& operator=(const ShardedRunner&) = delete;
 
-  // Producer side; single-threaded. Blocks (pause/yield backoff) while
-  // the target shard's queue is full — backpressure preserves arrival
-  // order. If the target worker has died (its engine threw), rethrows
-  // that worker's exception instead of spinning on a queue nobody will
-  // ever drain.
+  // Producer side; single-threaded. Under OverloadPolicy::kBlock (the
+  // default) blocks (pause/yield backoff) while the target shard's
+  // queue is full — backpressure preserves arrival order. The other
+  // policies bound that wait by shedding at admission or throwing
+  // OverloadError (runtime/overload.hpp). If the target worker has died
+  // (its engine threw), rethrows that worker's exception instead of
+  // spinning on a queue nobody will ever drain.
   void on_event(const Event& e);
 
   // Producer side, batched: partitions the whole slice up front, then
@@ -210,8 +218,16 @@ class ShardedRunner {
   std::uint64_t replayed_events_total() const noexcept { return replayed_events_; }
   DegradedAccounting degraded_accounting() const noexcept;
 
+  // Overload accounting (producer thread; exact after finish()). The
+  // per-query view attributes each shed event to every query whose
+  // pattern references its type — the queries whose input actually
+  // thinned; broadcast (tick-only) sheds are counted in the total only.
+  std::uint64_t shed_events_total() const noexcept { return degraded_.shed_events; }
+  std::uint64_t shed_events(QueryId id) const { return shed_by_query_.at(id); }
+
  private:
   struct Shard {
+    std::size_t index = 0;  // position in shards_ (stable; set once)
     std::unique_ptr<SpscQueue<Event>> queue;
     std::shared_ptr<CollectingTaggedSink> sink;
     std::unique_ptr<MultiQueryRunner> runner;
@@ -231,6 +247,13 @@ class ShardedRunner {
     Gauge* queue_depth = nullptr;      // ingress occupancy, scrape keeps max
     Gauge* watermark_lag = nullptr;    // global clock − event ts at dequeue
     Gauge* merge_occupancy = nullptr;  // matches parked awaiting the merge
+
+    // High-water mark of consumed event timestamps, published (relaxed)
+    // by the worker per pop batch; the producer's overload monitor reads
+    // it to grade watermark lag. Advisory — never used for correctness.
+    std::atomic<Timestamp> consumed_clock{kMinTimestamp};
+    // Overload pressure assessment (producer-owned; null at kBlock).
+    std::unique_ptr<OverloadMonitor> monitor;
 
     // ---- Supervision state; all of it idle when recovery is disabled.
     //
@@ -269,9 +292,28 @@ class ShardedRunner {
   void push_blocking(Shard& shard, Event e);
   void route_event(const Event& e);
   // Moves all of `events` into the shard's ring, blocking with backoff
-  // when full; recovery is disabled on this path (see on_batch).
+  // when full (kBlock) or per the overload policy; recovery is disabled
+  // on this path (see on_batch).
   void push_batch_blocking(Shard& shard, std::vector<Event>& events);
   [[noreturn]] void rethrow_worker_error(const Shard& shard);
+
+  // ---- Overload control (producer thread; see runtime/overload.hpp).
+  //
+  // Admission decision for one arrival: observes its lateness, grades
+  // pressure, and applies the policy. Returns true when the event was
+  // SHED (accounted; the caller must not admit it), false when it may
+  // proceed to the backup/queue — with queue room guaranteed for the
+  // shedding policies, so the subsequent push cannot spin unboundedly.
+  // kFail throws OverloadError past its deadline.
+  bool overload_admit(Shard& shard, const Event& e);
+  // Spins (with backoff) until the ring has room or `deadline` passes;
+  // returns false on deadline. A dead worker aborts the wait with true —
+  // the caller falls through to the blocking push, whose dead-worker
+  // handling (rethrow / supervise) is the single source of truth.
+  bool wait_for_room(Shard& shard, std::chrono::steady_clock::duration deadline);
+  // Books one shed event: DegradedAccounting, per-query attribution,
+  // and the shard monitor's metric slots.
+  void account_shed(Shard& shard, const Event& e, bool forced);
 
   // Supervision internals (recovery enabled only).
   void checkpoint_shard(Shard& shard);          // worker thread (or producer mid-recovery)
@@ -289,6 +331,11 @@ class ShardedRunner {
   std::size_t queue_capacity_;
   RecoveryConfig recovery_;
   bool share_scans_ = true;
+  OverloadConfig overload_;
+  // Per-TypeId list of queries whose pattern references the type, for
+  // per-query shed attribution (built once in the constructor).
+  std::vector<std::vector<QueryId>> queries_by_type_;
+  std::vector<std::uint64_t> shed_by_query_;
   // Backup ring bound: past this the producer blocks until a checkpoint
   // trims (steady state never reaches it — the ring holds at most
   // checkpoint_every + queue_capacity events between trims).

@@ -176,6 +176,13 @@ class WorkerKilled : public std::runtime_error {
 // thread-safe: each shard worker calls it concurrently.
 using WorkerKillHook = std::function<bool(const Event&)>;
 
+// Slow-consumer fault: invoked by the sharded worker loop for every
+// event it is about to process (typically to sleep), throttling the
+// consumer below the offered load so backpressure and overload-shedding
+// paths can be driven deterministically in tests and benchmarks. Must
+// be thread-safe: each shard worker calls it concurrently.
+using WorkerDelayHook = std::function<void(const Event&)>;
+
 // Machine-failure fault: crashes the worker thread that is about to
 // process a selected victim event. Unlike every other fault this one
 // does not mutate the stream — apply() passes events through unchanged

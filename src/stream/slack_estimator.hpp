@@ -66,6 +66,25 @@ class SlackEstimator {
   // Current recommended K, clamped to [min_slack, max_slack].
   Timestamp estimate() const noexcept { return estimate_; }
 
+  // On-demand lateness quantile over the current sample window, RAW —
+  // no headroom, no clamping. This is the read the overload monitor
+  // prices shedding from: "how late is the q-fraction boundary of
+  // recent arrivals", distinct from estimate()'s "what slack should the
+  // engines trust". O(window) selection; call at refresh cadence, not
+  // per event. Returns 0 while the window is empty.
+  Timestamp quantile(double q) const {
+    if (samples_.empty()) return 0;
+    std::vector<Timestamp> scratch = samples_;
+    const double qc = std::min(1.0, std::max(0.0, q));
+    const std::size_t rank = std::min(
+        scratch.size() - 1,
+        static_cast<std::size_t>(qc * static_cast<double>(scratch.size())));
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(rank),
+                     scratch.end());
+    return scratch[rank];
+  }
+
   std::size_t samples() const noexcept { return samples_.size(); }
 
   // Checkpoint support: raw ring state out / in (runtime/checkpoint.hpp).

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <mutex>
 #include <stdexcept>
@@ -421,6 +422,46 @@ TEST(SessionReporter, PeriodicallyDeliversExposition) {
   ASSERT_FALSE(reports.empty());
   EXPECT_NE(reports.back().find("oosp_session_events_total"), std::string::npos);
   EXPECT_NE(reports.back().find("oosp_engine_matches_total"), std::string::npos);
+}
+
+// Regression: finish() used to leave the periodic reporter running while
+// it drained the quarantine and bumped oosp_session_quarantine_drained_total,
+// so a scrape could land between the two and publish a snapshot whose
+// quarantine totals disagree. finish() must join the reporter FIRST — no
+// report may be delivered after finish() returns. (The data race itself
+// is the TSan job's catch; the joined-before-return contract is pinned
+// here.)
+TEST(SessionReporter, FinishStopsReporterBeforeQuarantineAccounting) {
+  const TypeRegistry reg = make_abcd_registry();
+  const auto sink = std::make_shared<CollectingTaggedSink>();
+  auto scrapes = std::make_shared<std::atomic<std::uint64_t>>(0);
+  EngineOptions opt;
+  opt.late_policy = LatePolicy::kQuarantine;
+  Session session(reg,
+                  SessionConfig{}
+                      .engine(EngineKind::kOoo)
+                      .options(opt)
+                      .slack(5)
+                      .shards(2)
+                      .report_every(std::chrono::milliseconds(1))
+                      .report_to([scrapes](const std::string&) {
+                        scrapes->fetch_add(1, std::memory_order_relaxed);
+                      })
+                      .query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 50"),
+                  sink);
+  for (EventId i = 0; i < 500; ++i)
+    session.push(make_event(reg, i % 2 ? "B" : "A", i, Timestamp(i), (i / 2) % 8));
+  // Stragglers past the slack horizon land in the quarantine finish() drains.
+  session.push(make_event(reg, "A", 500, 0, 0));
+  session.push(make_event(reg, "B", 501, 1, 0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // let it scrape
+
+  session.finish();  // direct finish, NOT close(): the racy path
+  const std::uint64_t at_finish = scrapes->load(std::memory_order_relaxed);
+  EXPECT_GT(session.quarantined().size(), 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(scrapes->load(std::memory_order_relaxed), at_finish)
+      << "reporter was still scraping after finish() returned";
 }
 
 // ------------------------------------------------- Worker liveness

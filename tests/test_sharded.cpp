@@ -2,8 +2,12 @@
 // exactly-once delivery, and 1-vs-N shard output determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/spsc_queue.hpp"
 #include "engine_test_util.hpp"
@@ -326,6 +330,121 @@ TEST(SessionSharded, PerQueryEngineOverridesApply) {
   // The override carried its own slack: the in-order engine ran with 0.
   EXPECT_EQ(session.stats(1).effective_slack, 0);
   EXPECT_EQ(session.stats(0).effective_slack, 100);
+}
+
+// ------------------------------------------- backpressure regressions
+
+// Regression: the worker used to publish `size_approx() + popped` as the
+// queue-depth gauge AFTER its pop, while the producer concurrently
+// refilled the freed slots — the sum could transiently exceed the ring's
+// capacity. The gauge must only ever publish genuine occupancy readings.
+TEST(SessionSharded, QueueDepthGaugeNeverExceedsCapacity) {
+  const TypeRegistry reg = make_abcd_registry();
+  const auto sink = std::make_shared<CollectingTaggedSink>();
+  Session session(reg,
+                  SessionConfig{}
+                      .engine(EngineKind::kOoo)
+                      .slack(10)
+                      .shards(2)
+                      .queue_capacity(64)  // ring of 64, 63 usable slots
+                      .delay_hook([](const Event&) {
+                        std::this_thread::sleep_for(std::chrono::microseconds(2));
+                      })
+                      .query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 50"),
+                  sink);
+  const std::int64_t capacity = 63;
+
+  std::atomic<bool> stop{false};
+  std::int64_t max_seen = 0;
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      max_seen = std::max(
+          max_seen, session.metrics_snapshot().gauge("oosp_shard_queue_depth"));
+    }
+  });
+
+  // Saturating batched pushes keep both rings at/near full while the
+  // scraper races the worker's pop-side samples.
+  std::vector<Event> batch;
+  EventId id = 0;
+  for (int round = 0; round < 200; ++round) {
+    batch.clear();
+    for (int i = 0; i < 128; ++i, ++id)
+      batch.push_back(make_event(reg, (id % 2 == 0) ? "A" : "B", id,
+                                 static_cast<Timestamp>(id),
+                                 static_cast<std::int64_t>(id % 16)));
+    session.push_batch(batch);
+  }
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+  session.close();
+
+  EXPECT_GT(max_seen, 0);  // the scraper actually observed occupancy
+  EXPECT_LE(max_seen, capacity);
+}
+
+// Regression: push_batch's backpressure loop only checked the dead flag
+// when a ring transaction pushed NOTHING — a worker killed mid-batch
+// while its queue still had ROOM let the producer quietly keep filling a
+// queue nobody would ever drain. The scalar path fails fast in that
+// state; the batched path must too. The ring here is deliberately huge,
+// so the old code's only dead check (the full-ring branch) never runs
+// and only loop-top parity surfaces the death.
+TEST(SessionSharded, DeadWorkerFailsFastFromPushBatchWithRoomToSpare) {
+  const TypeRegistry reg = make_abcd_registry();
+  const auto sink = std::make_shared<CollectingTaggedSink>();
+  // Recovery off: the batched routing path is exercised and a worker
+  // death must surface as the stored exception, not be supervised away.
+  Session session(reg,
+                  SessionConfig{}
+                      .engine(EngineKind::kOoo)
+                      .slack(10)
+                      .shards(2)
+                      .queue_capacity(8192)
+                      .kill_hook([](const Event& e) { return e.id == 3; })
+                      .query("PATTERN SEQ(A a, B b) WHERE a.k == b.k WITHIN 50"),
+                  sink);
+
+  auto batch_of = [&](EventId base, int n) {
+    std::vector<Event> batch;
+    for (int i = 0; i < n; ++i) {
+      const EventId id = base + static_cast<EventId>(i);
+      batch.push_back(make_event(reg, (id % 2 == 0) ? "A" : "B", id,
+                                 static_cast<Timestamp>(id),
+                                 static_cast<std::int64_t>(id % 16)));
+    }
+    return batch;
+  };
+
+  // Deliver the victim, then wait for the kill to land: the failure
+  // counter is bumped by the dying worker right before it marks itself
+  // dead, so this poll makes the test deterministic.
+  session.push_batch(batch_of(0, 8));
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (session.metrics_snapshot().counter("oosp_shard_worker_failures_total") == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "worker never died";
+    std::this_thread::yield();
+  }
+
+  // 16 distinct keys guarantee the dead shard is targeted; nearly all of
+  // the 8191-slot ring is free, so only the loop-top dead check can
+  // surface the error. A few rounds tolerate the tiny window between the
+  // failure counter and the dead-flag publication.
+  bool threw = false;
+  EventId id = 8;
+  try {
+    for (int round = 0; round < 200; ++round) {
+      session.push_batch(batch_of(id, 16));
+      id += 16;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  } catch (const WorkerKilled& e) {
+    threw = true;
+    EXPECT_EQ(e.victim(), 3u);
+  }
+  EXPECT_TRUE(threw) << "producer kept filling a dead worker's queue";
+  // Orderly teardown after the surfaced failure.
+  session.close();
 }
 
 }  // namespace
