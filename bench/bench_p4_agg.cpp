@@ -1,0 +1,315 @@
+// Experiment R-P4 — OOO sliding-window aggregation vs buffer-then-recompute.
+//
+// Both sides run SPECULATIVE emission: a window result is published the
+// moment the stream clock passes the window end (no K-slack holdback),
+// and every later event that lands inside an already-published window
+// retracts and republishes a corrected result. This is the low-latency
+// operating point the aggressive retraction contract exists for — and
+// the regime where the aggregation store is the whole game:
+//
+//   * Baseline ("recompute-kslack"): the conventional fix — keep the
+//     window's events in a ts-sorted K-slack buffer and RECOMPUTE the
+//     aggregate by scanning every buffered event in [start, end) each
+//     time a published window needs correcting. One late event that
+//     touches c published windows costs c full window scans.
+//
+//   * Treatment ("agg-ooo"): the AggEngine's finger-B-tree store — the
+//     late insert lands in O(log n), and each corrected window
+//     re-aggregates from per-leaf summaries (two boundary chunks plus
+//     O(log n) summary merges) instead of re-reading every event.
+//
+// Fixed: single-type workload, `AGG sum(T0.val) OVER 8192 SLIDE 512 BY
+// key`, 1 key, mean gap 1 (~8k events per window), every event
+// delayed U[0, max_delay]. Sweeps max_delay over {0, ¼, ½, 1}·window;
+// correction traffic — and with it the recompute bill — scales with the
+// delay, which is exactly the claim under test.
+//
+// Both sides implement identical semantics (same registration, seal and
+// speculative agendas, same correction rule); the `windows` counters
+// must agree — a run where they diverge is measuring different work.
+//
+// Reported counters:
+//   ev/s      end-to-end events per second
+//   windows   window results published (first emissions + corrections)
+//   speedup   agg-ooo ev/s relative to the recompute baseline at the
+//             same delay (reported on the treatment runs)
+//
+// Short mode for CI: OOSP_BENCH_SHORT=1 shrinks the stream ~5x.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/engines.hpp"
+
+namespace {
+
+using namespace oosp;
+using benchutil::Scenario;
+
+constexpr Timestamp kWindow = 8192;
+constexpr Timestamp kSlide = 512;
+
+bool short_mode() {
+  const char* v = std::getenv("OOSP_BENCH_SHORT");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+// Delay fractions of the window, labelled as such ("delay:0.5w").
+const std::pair<const char*, Timestamp> kDelays[] = {
+    {"0w", 0},
+    {"0.25w", kWindow / 4},
+    {"0.5w", kWindow / 2},
+    {"1w", kWindow},
+};
+
+const Scenario& scenario(Timestamp delay) {
+  static std::map<Timestamp, Scenario> cache;
+  auto it = cache.find(delay);
+  if (it == cache.end()) {
+    SyntheticConfig cfg;
+    cfg.num_events = short_mode() ? 24'000 : 120'000;
+    cfg.num_types = 1;
+    cfg.key_cardinality = 1;
+    cfg.mean_gap = 1;
+    cfg.seed = 4004;
+    it = cache
+             .emplace(delay, benchutil::make_scenario(
+                                 cfg,
+                                 "AGG sum(T0.val) OVER " + std::to_string(kWindow) +
+                                     " SLIDE " + std::to_string(kSlide) + " BY key",
+                                 1.0, delay))
+             .first;
+  }
+  return it->second;
+}
+
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  const std::int64_t q = a / b, r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+// The buffer-then-recompute baseline. Same clock, registration, seal and
+// speculative emission logic as the speculative AggEngine; the only
+// difference is the store — a flat ts-sorted buffer per key, with every
+// (re)computation a full scan of the window's events.
+class KSlackRecompute {
+ public:
+  KSlackRecompute(const AggSpec& spec, Timestamp window, Timestamp slack)
+      : key_slot_(spec.key_slot),
+        value_slot_(spec.value_slot),
+        window_(window),
+        slide_(spec.slide),
+        slack_(slack) {}
+
+  void on_event(const Event& e) {
+    clock_ = std::max(clock_, e.ts);
+    const Timestamp wm = clock_ - slack_ - 1;
+    const std::int64_t key = e.attrs[key_slot_].as_int();
+    KeyBuf& kb = keys_[key];
+    // Register every still-open window this event belongs to.
+    const std::int64_t hi = floor_div(e.ts, slide_);
+    const std::int64_t lo = floor_div(e.ts - window_, slide_) + 1;
+    bool any_open = false;
+    for (std::int64_t i = lo; i <= hi; ++i) {
+      if (i * slide_ + window_ - 1 <= wm) continue;  // sealed: final already
+      any_open = true;
+      const auto [it, inserted] = kb.windows.try_emplace(i, false);
+      if (inserted) {
+        seal_agenda_.push(Due{i * slide_ + window_, key, i});
+        spec_agenda_.push(Due{i * slide_ + window_, key, i});
+      }
+    }
+    if (any_open) {
+      // Insert in ts order; arrivals are K-bounded so the slot is near
+      // the tail.
+      Entry entry{e.ts, e.attrs[value_slot_].as_int()};
+      const auto at = std::upper_bound(
+          kb.buf.begin() + static_cast<std::ptrdiff_t>(kb.head), kb.buf.end(),
+          entry, [](const Entry& a, const Entry& b) { return a.ts < b.ts; });
+      kb.buf.insert(at, entry);
+      // Correct every already-published window the event landed in: THE
+      // recompute — drop the stale result and rescan the whole window.
+      for (std::int64_t i = lo; i <= hi; ++i) {
+        const auto it = kb.windows.find(i);
+        if (it != kb.windows.end() && it->second) publish(kb, i);
+      }
+    }
+    // Seal pass: finalize and drop windows behind the watermark.
+    while (!seal_agenda_.empty() && seal_agenda_.top().end - 1 <= wm) {
+      const Due due = seal_agenda_.top();
+      seal_agenda_.pop();
+      KeyBuf& owner = keys_[due.key];
+      const auto it = owner.windows.find(due.index);
+      if (it == owner.windows.end()) continue;
+      if (!it->second) publish(owner, due.index);
+      owner.windows.erase(it);
+    }
+    // Speculative pass: publish windows the clock has passed.
+    while (!spec_agenda_.empty() && spec_agenda_.top().end <= clock_) {
+      const Due due = spec_agenda_.top();
+      spec_agenda_.pop();
+      KeyBuf& owner = keys_[due.key];
+      const auto it = owner.windows.find(due.index);
+      if (it == owner.windows.end() || it->second) continue;
+      it->second = true;
+      publish(owner, due.index);
+    }
+    if (++since_purge_ >= 64) {
+      since_purge_ = 0;
+      purge(wm);
+    }
+  }
+
+  void finish() {
+    while (!seal_agenda_.empty()) {
+      const Due due = seal_agenda_.top();
+      seal_agenda_.pop();
+      KeyBuf& owner = keys_[due.key];
+      const auto it = owner.windows.find(due.index);
+      if (it == owner.windows.end()) continue;
+      if (!it->second) publish(owner, due.index);
+      owner.windows.erase(it);
+    }
+  }
+
+  std::uint64_t windows_published() const { return published_; }
+  std::int64_t checksum() const { return checksum_; }
+
+ private:
+  struct Entry {
+    Timestamp ts;
+    std::int64_t val;
+  };
+  struct KeyBuf {
+    std::vector<Entry> buf;  // ts-sorted from head
+    std::size_t head = 0;
+    std::map<std::int64_t, bool> windows;  // index -> published?
+  };
+  struct Due {
+    Timestamp end;
+    std::int64_t key;
+    std::int64_t index;
+  };
+  struct DueLater {
+    bool operator()(const Due& a, const Due& b) const { return a.end > b.end; }
+  };
+
+  void publish(const KeyBuf& kb, std::int64_t index) {
+    const Timestamp start = index * slide_;
+    const Timestamp end = start + window_;
+    std::int64_t sum = 0;
+    const auto from = std::lower_bound(
+        kb.buf.begin() + static_cast<std::ptrdiff_t>(kb.head), kb.buf.end(), start,
+        [](const Entry& a, Timestamp t) { return a.ts < t; });
+    for (auto it = from; it != kb.buf.end() && it->ts < end; ++it) sum += it->val;
+    checksum_ += sum;
+    ++published_;
+  }
+
+  void purge(Timestamp wm) {
+    const Timestamp bound = wm - window_ + 2;
+    for (auto& [key, kb] : keys_) {
+      while (kb.head < kb.buf.size() && kb.buf[kb.head].ts < bound) ++kb.head;
+      if (kb.head > kb.buf.size() / 2) {
+        kb.buf.erase(kb.buf.begin(),
+                     kb.buf.begin() + static_cast<std::ptrdiff_t>(kb.head));
+        kb.head = 0;
+      }
+    }
+  }
+
+  std::size_t key_slot_, value_slot_;
+  Timestamp window_, slide_, slack_;
+  Timestamp clock_ = 0;
+  std::unordered_map<std::int64_t, KeyBuf> keys_;
+  std::priority_queue<Due, std::vector<Due>, DueLater> seal_agenda_;
+  std::priority_queue<Due, std::vector<Due>, DueLater> spec_agenda_;
+  std::size_t since_purge_ = 0;
+  std::uint64_t published_ = 0;
+  std::int64_t checksum_ = 0;
+};
+
+double& baseline_evps(Timestamp delay) {
+  static std::map<Timestamp, double> evps;
+  return evps[delay];
+}
+
+void run_baseline(benchmark::State& state, Timestamp delay) {
+  const Scenario& sc = scenario(delay);
+  std::uint64_t windows = 0;
+  double evps = 0.0;
+  for (auto _ : state) {
+    KSlackRecompute baseline(sc.query->agg(), sc.query->window(), sc.slack);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Event& e : sc.arrivals) baseline.on_event(e);
+    baseline.finish();
+    const auto t1 = std::chrono::steady_clock::now();
+    windows = baseline.windows_published();
+    benchmark::DoNotOptimize(baseline.checksum());
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    evps = secs > 0.0 ? static_cast<double>(sc.arrivals.size()) / secs : 0.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sc.arrivals.size()));
+  state.counters["ev/s"] = benchmark::Counter(evps);
+  state.counters["windows"] = benchmark::Counter(static_cast<double>(windows));
+  baseline_evps(delay) = evps;
+}
+
+void run_treatment(benchmark::State& state, Timestamp delay) {
+  const Scenario& sc = scenario(delay);
+  std::uint64_t windows = 0;
+  double evps = 0.0;
+  for (auto _ : state) {
+    EngineOptions options;
+    options.slack = sc.slack;
+    options.aggressive_negation = true;  // speculative emission + retraction
+    const auto sink = std::make_shared<NullSink>();
+    const auto engine = make_engine(EngineKind::kAgg, sc.query, sink, options);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Event& e : sc.arrivals) engine->on_event(e);
+    engine->finish();
+    const auto t1 = std::chrono::steady_clock::now();
+    windows = sink->count();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    evps = secs > 0.0 ? static_cast<double>(sc.arrivals.size()) / secs : 0.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sc.arrivals.size()));
+  state.counters["ev/s"] = benchmark::Counter(evps);
+  state.counters["windows"] = benchmark::Counter(static_cast<double>(windows));
+  if (baseline_evps(delay) > 0.0)
+    state.counters["speedup"] = benchmark::Counter(evps / baseline_evps(delay));
+}
+
+void register_benchmarks() {
+  // Baseline first so the treatment can report its speedup; benchmarks
+  // execute in registration order.
+  for (const auto& [label, delay] : kDelays) {
+    benchmark::RegisterBenchmark(
+        ("P4/recompute-kslack/delay:" + std::string(label)).c_str(),
+        [delay = delay](benchmark::State& state) { run_baseline(state, delay); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+    benchmark::RegisterBenchmark(
+        ("P4/agg-ooo/delay:" + std::string(label)).c_str(),
+        [delay = delay](benchmark::State& state) { run_treatment(state, delay); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  return oosp::benchutil::run_benchmark_main(argc, argv);
+}

@@ -1,6 +1,7 @@
 #include "engine/engines.hpp"
 
 #include "common/contracts.hpp"
+#include "engine/agg/agg_engine.hpp"
 #include "engine/buffer/kslack_engine.hpp"
 #include "engine/inorder/inorder_engine.hpp"
 #include "engine/nfa/nfa_engine.hpp"
@@ -27,11 +28,17 @@ std::string_view to_string(EngineKind k) noexcept {
     case EngineKind::kOoo: return "ooo-native";
     case EngineKind::kKSlackInOrder: return "kslack+inorder-ssc";
     case EngineKind::kKSlackNfa: return "kslack+nfa-runs";
+    case EngineKind::kAgg: return "agg-ooo";
   }
   return "?";
 }
 
 std::unique_ptr<PatternEngine> make_engine(EngineKind kind, EngineContext ctx) {
+  OOSP_REQUIRE(ctx.query != nullptr, "make_engine: null query");
+  OOSP_REQUIRE(ctx.query->is_agg() == (kind == EngineKind::kAgg),
+               kind == EngineKind::kAgg
+                   ? "kAgg engine needs an AGG query"
+                   : "AGG queries run only on EngineKind::kAgg");
   switch (kind) {
     case EngineKind::kInOrder:
       return std::make_unique<InOrderEngine>(std::move(ctx));
@@ -47,6 +54,8 @@ std::unique_ptr<PatternEngine> make_engine(EngineKind kind, EngineContext ctx) {
       return std::make_unique<KSlackEngine>(std::move(ctx), [](EngineContext inner) {
         return std::make_unique<NfaEngine>(std::move(inner));
       });
+    case EngineKind::kAgg:
+      return std::make_unique<AggEngine>(std::move(ctx));
   }
   OOSP_CHECK(false, "unknown engine kind");
   return nullptr;

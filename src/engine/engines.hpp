@@ -19,6 +19,7 @@ enum class EngineKind : std::uint8_t {
   kOoo,            // native out-of-order engine (the paper's approach)
   kKSlackInOrder,  // K-slack reorder buffer + in-order SSC (conventional fix)
   kKSlackNfa,      // K-slack reorder buffer + NFA runs
+  kAgg,            // OOO sliding-window aggregation (AGG queries only)
 };
 
 std::string_view to_string(EngineKind k) noexcept;

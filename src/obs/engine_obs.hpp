@@ -39,6 +39,12 @@ struct EngineObs {
   // Reorder buffer (K-slack wrapper only).
   Counter* releases = nullptr;
   Gauge* reorder_depth = nullptr;
+  // Windowed aggregation (AggEngine only).
+  Counter* agg_emits = nullptr;
+  Counter* agg_retracts = nullptr;
+  Gauge* agg_tree_depth = nullptr;
+  Gauge* agg_footprint = nullptr;
+  Histogram* agg_emit_latency = nullptr;
 
   bool enabled() const noexcept { return matches != nullptr; }
 
@@ -86,6 +92,24 @@ struct EngineObs {
                             "events released from the reorder buffer in ts order");
     reorder_depth = reg->gauge("oosp_kslack_reorder_depth", GaugeAgg::kSum,
                                "events currently held in the reorder buffer");
+  }
+
+  // Aggregation instruments, registered by AggEngine on top of the
+  // standard bundle. Emission latency is stream-time delay from window
+  // close (end - 1) to the clock that sealed or speculated it.
+  void add_agg(MetricsRegistry* reg) {
+    if (reg == nullptr) return;
+    agg_emits = reg->counter("oosp_agg_windows_emitted_total",
+                             "aggregate windows delivered to the sink");
+    agg_retracts = reg->counter("oosp_agg_windows_retracted_total",
+                                "speculative window emissions revised by late data");
+    agg_tree_depth = reg->gauge("oosp_agg_tree_depth", GaugeAgg::kMax,
+                                "height of the deepest per-key aggregation tree");
+    agg_footprint = reg->gauge("oosp_agg_window_footprint", GaugeAgg::kSum,
+                               "buffered aggregation entries plus open windows");
+    agg_emit_latency = reg->histogram(
+        "oosp_agg_emission_latency_stream",
+        "per-window emission delay in stream time (clock - (window end - 1))");
   }
 
   static void inc(Counter* c, std::uint64_t n = 1) noexcept {

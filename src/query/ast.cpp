@@ -18,6 +18,17 @@ std::string_view to_string(CmpOp op) noexcept {
   return "?";
 }
 
+std::string_view to_string(AggFn fn) noexcept {
+  switch (fn) {
+    case AggFn::kCount: return "count";
+    case AggFn::kSum: return "sum";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+    case AggFn::kAvg: return "avg";
+  }
+  return "?";
+}
+
 BoolExpr BoolExpr::make_cmp(Comparison c) {
   BoolExpr e;
   e.kind = Kind::kCmp;
@@ -94,6 +105,15 @@ std::string to_text(const BoolExpr& e) {
 
 std::string to_text(const ParsedQuery& q) {
   std::ostringstream os;
+  if (q.agg) {
+    const AggDecl& a = *q.agg;
+    os << "AGG " << to_string(a.fn) << '(' << a.type_name;
+    if (!a.attr.empty()) os << '.' << a.attr;
+    os << ") OVER " << q.window;
+    if (a.slide != q.window) os << " SLIDE " << a.slide;
+    if (a.has_key) os << " BY " << a.key_attr;
+    return os.str();
+  }
   os << "PATTERN SEQ(";
   for (std::size_t i = 0; i < q.steps.size(); ++i) {
     if (i) os << ", ";

@@ -70,10 +70,34 @@ struct StepDecl {
   bool negated = false;
 };
 
+// Windowed aggregation functions for the AGG query form.
+enum class AggFn : std::uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+std::string_view to_string(AggFn fn) noexcept;
+
+// Aggregation form (alternative to PATTERN):
+//
+//   AGG sum(Trade.qty) OVER 600 SLIDE 60 BY symbol
+//   AGG count(Click) OVER 1000
+//
+// `count` takes a bare type; the other functions take `Type.attr` where
+// attr is a numeric field. OVER gives the window width, SLIDE the hop
+// (default: tumbling, slide == window), BY an optional grouping
+// attribute of the input type.
+struct AggDecl {
+  AggFn fn = AggFn::kCount;
+  std::string type_name;
+  std::string attr;       // empty for count
+  Timestamp slide = 0;    // normalized by the parser: defaults to window
+  bool has_key = false;
+  std::string key_attr;
+};
+
 struct ParsedQuery {
-  std::vector<StepDecl> steps;
+  std::vector<StepDecl> steps;            // empty when agg is set
   std::optional<BoolExpr> where;
-  Timestamp window = 0;
+  Timestamp window = 0;                   // shared by both forms
+  std::optional<AggDecl> agg;
 };
 
 // Renders the query back to (canonical) text — used in error messages,

@@ -103,9 +103,13 @@ class Analyzer {
       : parsed_(parsed), registry_(registry) {}
 
   CompiledQuery run() {
-    analyze_steps();
-    analyze_where();
-    detect_partition_key();
+    if (parsed_.agg) {
+      analyze_agg();
+    } else {
+      analyze_steps();
+      analyze_where();
+      detect_partition_key();
+    }
     index_types();
     out_.window_ = parsed_.window;
     out_.text_ = to_text(parsed_);
@@ -149,6 +153,44 @@ class Analyzer {
       out_.steps_[i].prev_positive = p;
       out_.steps_[i].next_positive = q;
     }
+  }
+
+  void analyze_agg() {
+    const AggDecl& a = *parsed_.agg;
+    AggSpec spec;
+    spec.fn = a.fn;
+    spec.type = registry_.lookup(a.type_name);
+    if (spec.type == kInvalidType) fail("unknown event type: " + a.type_name);
+    const Schema& schema = registry_.schema(spec.type);
+    if (a.fn != AggFn::kCount) {
+      spec.value_slot = schema.slot(a.attr);
+      if (spec.value_slot == Schema::npos)
+        fail("type '" + a.type_name + "' has no attribute '" + a.attr + "'");
+      spec.value_type = schema.field(spec.value_slot).type;
+      if (spec.value_type != ValueType::kInt && spec.value_type != ValueType::kDouble)
+        fail(std::string(to_string(a.fn)) + " needs a numeric attribute, but '" +
+             a.attr + "' is " + std::string(to_string(spec.value_type)));
+    }
+    if (a.has_key) {
+      spec.key_slot = schema.slot(a.key_attr);
+      if (spec.key_slot == Schema::npos)
+        fail("type '" + a.type_name + "' has no attribute '" + a.key_attr + "'");
+    }
+    spec.has_key = a.has_key;
+    if (a.slide <= 0) fail("slide must be positive");
+    if (a.slide > parsed_.window) fail("slide must not exceed the window");
+    spec.slide = a.slide;
+    // One positive step so routing / relevance / partitioning reuse the
+    // pattern machinery; shards colocate a key's events exactly like a
+    // single-step equi-join.
+    CompiledStep s;
+    s.type = spec.type;
+    s.binding = "e";
+    out_.steps_.push_back(std::move(s));
+    out_.positive_ = {0};
+    out_.partitionable_ = a.has_key;
+    out_.partition_slots_ = {a.has_key ? spec.key_slot : CompiledStep::npos};
+    out_.agg_ = spec;
   }
 
   ValueType operand_type(const ResolvedOperand& o) const {

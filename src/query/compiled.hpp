@@ -99,6 +99,19 @@ struct CompiledStep {
   std::vector<std::size_t> local_predicates;
 };
 
+// Resolved form of an AGG query. The compiled query still carries one
+// positive step (the input type, binding "e") so routing, relevance and
+// partitioning reuse the pattern machinery unchanged.
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  TypeId type = kInvalidType;
+  std::size_t value_slot = CompiledStep::npos;  // npos for count
+  ValueType value_type = ValueType::kInt;
+  bool has_key = false;
+  std::size_t key_slot = CompiledStep::npos;
+  Timestamp slide = 0;
+};
+
 class CompiledQuery {
  public:
   const std::vector<CompiledStep>& steps() const noexcept { return steps_; }
@@ -141,6 +154,12 @@ class CompiledQuery {
   bool partitionable() const noexcept { return partitionable_; }
   const std::vector<std::size_t>& partition_slots() const noexcept { return partition_slots_; }
 
+  // Aggregation queries compile to an AggSpec plus the single positive
+  // step above; pattern-only machinery (shared scans, negation) must not
+  // see them, which the planner enforces.
+  bool is_agg() const noexcept { return agg_.has_value(); }
+  const AggSpec& agg() const { return agg_.value(); }
+
   const std::string& text() const noexcept { return text_; }
 
  private:
@@ -153,6 +172,7 @@ class CompiledQuery {
   std::vector<std::vector<std::size_t>> type_to_steps_;  // indexed by TypeId
   bool partitionable_ = false;
   std::vector<std::size_t> partition_slots_;
+  std::optional<AggSpec> agg_;
   std::string text_;
 };
 

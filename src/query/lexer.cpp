@@ -21,6 +21,10 @@ std::string_view to_string(TokKind k) noexcept {
     case TokKind::kNot: return "NOT";
     case TokKind::kTrue: return "TRUE";
     case TokKind::kFalse: return "FALSE";
+    case TokKind::kAgg: return "AGG";
+    case TokKind::kOver: return "OVER";
+    case TokKind::kSlide: return "SLIDE";
+    case TokKind::kBy: return "BY";
     case TokKind::kLParen: return "'('";
     case TokKind::kRParen: return "')'";
     case TokKind::kComma: return "','";
@@ -49,6 +53,10 @@ TokKind keyword_kind(std::string_view upper) {
   if (upper == "NOT") return TokKind::kNot;
   if (upper == "TRUE") return TokKind::kTrue;
   if (upper == "FALSE") return TokKind::kFalse;
+  if (upper == "AGG") return TokKind::kAgg;
+  if (upper == "OVER") return TokKind::kOver;
+  if (upper == "SLIDE") return TokKind::kSlide;
+  if (upper == "BY") return TokKind::kBy;
   return TokKind::kIdent;
 }
 

@@ -23,6 +23,10 @@ enum class TokKind : std::uint8_t {
   kNot,
   kTrue,
   kFalse,
+  kAgg,
+  kOver,
+  kSlide,
+  kBy,
   // punctuation / operators
   kLParen,
   kRParen,

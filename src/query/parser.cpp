@@ -1,5 +1,6 @@
 #include "query/parser.hpp"
 
+#include <cctype>
 #include <charconv>
 
 #include "query/lexer.hpp"
@@ -17,6 +18,7 @@ class Parser {
   explicit Parser(std::string_view text) : toks_(tokenize(text)) {}
 
   ParsedQuery parse_query() {
+    if (cur().kind == TokKind::kAgg) return parse_agg_query();
     ParsedQuery q;
     expect(TokKind::kPattern);
     expect(TokKind::kSeq);
@@ -55,6 +57,56 @@ class Parser {
   Token expect(TokKind k) {
     if (cur().kind != k) fail("expected " + std::string(to_string(k)));
     return toks_[pos_++];
+  }
+
+  ParsedQuery parse_agg_query() {
+    ParsedQuery q;
+    AggDecl a;
+    expect(TokKind::kAgg);
+    Token fn = expect(TokKind::kIdent);
+    for (char& ch : fn.text)
+      ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+    if (fn.text == "count") {
+      a.fn = AggFn::kCount;
+    } else if (fn.text == "sum") {
+      a.fn = AggFn::kSum;
+    } else if (fn.text == "min") {
+      a.fn = AggFn::kMin;
+    } else if (fn.text == "max") {
+      a.fn = AggFn::kMax;
+    } else if (fn.text == "avg") {
+      a.fn = AggFn::kAvg;
+    } else {
+      throw QueryParseError(
+          "unknown aggregation function '" + fn.text + "' (count/sum/min/max/avg)",
+          fn.offset);
+    }
+    expect(TokKind::kLParen);
+    a.type_name = expect(TokKind::kIdent).text;
+    if (accept(TokKind::kDot)) a.attr = expect(TokKind::kIdent).text;
+    expect(TokKind::kRParen);
+    if (a.fn == AggFn::kCount && !a.attr.empty())
+      throw QueryParseError("count takes a bare event type, not an attribute", fn.offset);
+    if (a.fn != AggFn::kCount && a.attr.empty())
+      throw QueryParseError(
+          std::string(to_string(a.fn)) + " needs an attribute: Type.attr", fn.offset);
+    expect(TokKind::kOver);
+    q.window = parse_window();
+    a.slide = q.window;  // tumbling unless SLIDE says otherwise
+    if (cur().kind == TokKind::kSlide) {
+      const Token slide_tok = toks_[pos_];
+      ++pos_;
+      a.slide = parse_window();
+      if (a.slide > q.window)
+        throw QueryParseError("slide must not exceed the window", slide_tok.offset);
+    }
+    if (accept(TokKind::kBy)) {
+      a.has_key = true;
+      a.key_attr = expect(TokKind::kIdent).text;
+    }
+    expect(TokKind::kEnd);
+    q.agg = std::move(a);
+    return q;
   }
 
   StepDecl parse_step() {

@@ -5,7 +5,7 @@
 //
 //   offset  size  field
 //   0       4     magic "OSPC"
-//   4       4     format version (u32; currently 2)
+//   4       4     format version (u32; currently 3)
 //   8       8     payload length in bytes (u64)
 //   16      n     payload
 //   16+n    4     CRC-32 (IEEE, reflected) over the payload
@@ -69,7 +69,9 @@ namespace ckptdetail {
 inline constexpr std::uint32_t kMagic = 0x4350534Fu;  // "OSPC" little-endian
 // v2: MultiQueryRunner frames carry shared-scan groups ("mqg" blocks)
 // ahead of the per-query solo engines.
-inline constexpr std::uint32_t kVersion = 2;
+// v3: AggEngine frames ("agk" blocks) — per-key aggregation trees and
+// open-window state for AGG queries.
+inline constexpr std::uint32_t kVersion = 3;
 inline constexpr std::size_t kHeaderSize = 16;  // magic + version + payload length
 inline constexpr std::size_t kTrailerSize = 4;  // crc32
 

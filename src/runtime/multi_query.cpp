@@ -20,17 +20,14 @@ QueryId MultiQueryRunner::add_query(const QuerySpec& spec) {
                    spec.options.value_or(EngineOptions{}));
 }
 
-QueryId MultiQueryRunner::add_query(std::string_view text, EngineKind kind,
-                                    EngineOptions options) {
-  return add_query(compile_query_shared(text, registry_), kind,
-                   std::move(options));
-}
-
 QueryId MultiQueryRunner::add_query(std::shared_ptr<const CompiledQuery> query,
                                     EngineKind kind, EngineOptions options) {
   OOSP_REQUIRE(!started_, "add_query after the first event");
   OOSP_CHECK(!built_, "add_query after the execution plan was materialized");
   OOSP_REQUIRE(query != nullptr, "add_query: query is null");
+  // AGG queries run only on the aggregation engine; a caller-supplied
+  // default kind (kOoo etc.) is a fallback, not a contradiction.
+  if (query->is_agg()) kind = EngineKind::kAgg;
   // Engines validate this at construction; with lazy materialization the
   // caller should still hear about it at registration time.
   OOSP_REQUIRE(options.slack >= 0, "slack must be non-negative");

@@ -64,9 +64,6 @@ class MultiQueryRunner {
   // (enforced — see prepare()).
   QueryId add_query(const QuerySpec& spec);
 
-  [[deprecated("pass a QuerySpec: add_query({text, kind, options})")]]
-  QueryId add_query(std::string_view text, EngineKind kind, EngineOptions options = {});
-
   // Registers an already-compiled query (shared with the caller — the
   // Session compiles once and hands the same query to every shard).
   QueryId add_query(std::shared_ptr<const CompiledQuery> query, EngineKind kind,

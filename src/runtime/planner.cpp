@@ -35,6 +35,8 @@ bool effectively_partitioned(const ScanPlanEntry& e) {
 std::string shared_scan_exclusion(const ScanPlanEntry& e) {
   OOSP_REQUIRE(e.query != nullptr, "planner: null query");
   const CompiledQuery& q = *e.query;
+  if (q.is_agg())
+    return "aggregation queries keep dedicated window state";
   if (e.kind != EngineKind::kOoo)
     return "engine kind is not the native OOO engine";
   if (q.positive_steps().size() != q.num_steps())

@@ -26,6 +26,9 @@ Session::Session(const TypeRegistry& registry, SessionConfig config,
     ShardQuerySpec spec;
     spec.query = compile_query_shared(decl.text, registry_);
     spec.kind = decl.kind.value_or(config.default_kind_);
+    // AGG queries run only on the aggregation engine; the session-wide
+    // default kind is a fallback, not a contradiction.
+    if (spec.query->is_agg()) spec.kind = EngineKind::kAgg;
     spec.options = decl.options.value_or(config.default_options_);
     // Every engine (one per query per shard) registers its own slots;
     // the snapshot aggregates them back into one view.

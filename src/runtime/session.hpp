@@ -209,16 +209,6 @@ class SessionConfig {
     declarations_.push_back(std::move(spec));
     return *this;
   }
-  [[deprecated("pass a QuerySpec: query({text, kind})")]]
-  SessionConfig& query(std::string text, EngineKind kind) {
-    declarations_.push_back(QuerySpec{std::move(text), kind});
-    return *this;
-  }
-  [[deprecated("pass a QuerySpec: query({text, kind, options})")]]
-  SessionConfig& query(std::string text, EngineKind kind, EngineOptions options) {
-    declarations_.push_back(QuerySpec{std::move(text), kind, std::move(options)});
-    return *this;
-  }
 
  private:
   friend class Session;
@@ -250,8 +240,6 @@ class Session {
 
   // Feed events in arrival order; single producer thread.
   void push(const Event& e);
-  [[deprecated("renamed: use push() (pairs with push_batch)")]]
-  void on_event(const Event& e) { push(e); }
 
   // Batched ingestion: semantically identical to calling push on
   // each element in order, but amortizes routing, queue transactions and

@@ -1,0 +1,733 @@
+// Windowed aggregation over OOO streams (engine/agg/): the AggTree
+// store, AGG query parsing/compilation, recompute-oracle exactness for
+// every function, bit-identical results across arrival orders / shard
+// counts / batch sizes, speculative emission + retraction, checkpoint
+// byte-identity, kill-at-batch-boundary recovery with agg queries, and
+// overload shed accounting with mixed agg+pattern sessions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/agg/agg_engine.hpp"
+#include "engine/agg/agg_tree.hpp"
+#include "engine/engines.hpp"
+#include "query/compiled.hpp"
+#include "query/parser.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/session.hpp"
+#include "stream/disorder.hpp"
+#include "stream/faults.hpp"
+#include "stream/latency.hpp"
+
+namespace oosp {
+namespace {
+
+// ------------------------------------------------------------ fixtures
+
+// T{key:int, val:int, dv:double, tag:string}; U{key:int, val:int}.
+TypeRegistry make_agg_registry() {
+  TypeRegistry reg;
+  reg.register_type("T", Schema({{"key", ValueType::kInt},
+                                 {"val", ValueType::kInt},
+                                 {"dv", ValueType::kDouble},
+                                 {"tag", ValueType::kString}}));
+  reg.register_type("U", Schema({{"key", ValueType::kInt}, {"val", ValueType::kInt}}));
+  return reg;
+}
+
+Event make_t(const TypeRegistry& reg, EventId id, Timestamp ts, std::int64_t key,
+             std::int64_t val, double dv) {
+  Event e;
+  e.type = reg.lookup("T");
+  e.id = id;
+  e.ts = ts;
+  e.attrs = {Value(key), Value(val), Value(dv), Value(std::string("x"))};
+  return e;
+}
+
+Event make_u(const TypeRegistry& reg, EventId id, Timestamp ts, std::int64_t key,
+             std::int64_t val) {
+  Event e;
+  e.type = reg.lookup("U");
+  e.id = id;
+  e.ts = ts;
+  e.attrs = {Value(key), Value(val)};
+  return e;
+}
+
+// ts-ordered stream of T events with inexact doubles (so a fold-order
+// bug shows up at the ulp level) and a few exact key collisions.
+std::vector<Event> gen_stream(const TypeRegistry& reg, std::size_t n,
+                              std::int64_t keys, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Event> out;
+  out.reserve(n);
+  Timestamp ts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ts += rng.uniform_int(0, 7);
+    out.push_back(make_t(reg, i + 1, ts, rng.uniform_int(0, keys - 1),
+                         rng.uniform_int(-50, 50),
+                         static_cast<double>(rng.uniform_int(-1000, 1000)) * 0.1));
+  }
+  return out;
+}
+
+bool bits_equal(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  if (a.type() == ValueType::kDouble)
+    return std::bit_cast<std::uint64_t>(a.as_double()) ==
+           std::bit_cast<std::uint64_t>(b.as_double());
+  return a.compare(b) == 0;
+}
+
+// Decoded window result: the synthetic event's payload.
+struct AggOut {
+  EventId id = 0;
+  Timestamp start = 0, end = 0;
+  std::int64_t key = 0;
+  Value value;
+  std::int64_t count = 0;
+
+  bool operator==(const AggOut& o) const {
+    return id == o.id && start == o.start && end == o.end && key == o.key &&
+           count == o.count && bits_equal(value, o.value);
+  }
+};
+
+AggOut decode(const Match& m) {
+  EXPECT_EQ(m.events.size(), 1u);
+  const Event& e = m.events.front();
+  EXPECT_EQ(e.attrs.size(), 5u);
+  return AggOut{e.id,
+                e.attrs[0].as_int(),
+                e.attrs[1].as_int(),
+                e.attrs[2].as_int(),
+                e.attrs[3],
+                e.attrs[4].as_int()};
+}
+
+std::vector<AggOut> decode_all(const std::vector<Match>& ms) {
+  std::vector<AggOut> out;
+  out.reserve(ms.size());
+  for (const Match& m : ms) out.push_back(decode(m));
+  return out;
+}
+
+void sort_outs(std::vector<AggOut>& v) {
+  std::sort(v.begin(), v.end(), [](const AggOut& a, const AggOut& b) {
+    return std::tie(a.end, a.key, a.start) < std::tie(b.end, b.key, b.start);
+  });
+}
+
+// Brute-force recompute oracle over the full event multiset, mirroring
+// the engine's numeric contract: int sums wrap through uint64, double
+// sums fold in (ts, id) order, avg divides in double.
+std::vector<AggOut> oracle(const CompiledQuery& q, std::vector<Event> events) {
+  const AggSpec& spec = q.agg();
+  const Timestamp w = q.window(), s = spec.slide;
+  std::sort(events.begin(), events.end(), TsIdLess{});
+  const auto floor_div = [](std::int64_t a, std::int64_t b) {
+    const std::int64_t qt = a / b, r = a % b;
+    return (r != 0 && ((r < 0) != (b < 0))) ? qt - 1 : qt;
+  };
+  struct Acc {
+    std::uint64_t count = 0;
+    std::uint64_t isum = 0;
+    std::int64_t imin = std::numeric_limits<std::int64_t>::max();
+    std::int64_t imax = std::numeric_limits<std::int64_t>::min();
+    double dsum = 0.0;
+    double dmin = std::numeric_limits<double>::infinity();
+    double dmax = -std::numeric_limits<double>::infinity();
+  };
+  std::map<std::pair<std::int64_t, std::int64_t>, Acc> accs;  // (key, index)
+  for (const Event& e : events) {
+    if (e.type != spec.type) continue;
+    std::int64_t iv = 0;
+    double dv = 0.0;
+    if (spec.fn != AggFn::kCount) {
+      const Value& v = e.attrs.at(spec.value_slot);
+      if (spec.value_type == ValueType::kDouble) {
+        dv = v.as_double();
+        if (dv == 0.0) dv = 0.0;
+      } else {
+        iv = v.as_int();
+      }
+    }
+    const std::int64_t key = spec.has_key ? e.attrs.at(spec.key_slot).as_int() : 0;
+    const std::int64_t hi = floor_div(e.ts, s);
+    const std::int64_t lo = floor_div(e.ts - w, s) + 1;
+    for (std::int64_t i = lo; i <= hi; ++i) {
+      Acc& a = accs[{key, i}];
+      ++a.count;
+      a.isum += static_cast<std::uint64_t>(iv);
+      a.imin = std::min(a.imin, iv);
+      a.imax = std::max(a.imax, iv);
+      a.dsum += dv;
+      a.dmin = std::min(a.dmin, dv);
+      a.dmax = std::max(a.dmax, dv);
+    }
+  }
+  std::vector<AggOut> out;
+  for (const auto& [ki, a] : accs) {
+    AggOut r;
+    r.key = ki.first;
+    r.start = ki.second * s;
+    r.end = ki.second * s + w;
+    r.count = static_cast<std::int64_t>(a.count);
+    const bool dbl = spec.value_type == ValueType::kDouble;
+    switch (spec.fn) {
+      case AggFn::kCount: r.value = Value(r.count); break;
+      case AggFn::kSum:
+        r.value = dbl ? Value(a.dsum == 0.0 ? 0.0 : a.dsum)
+                      : Value(static_cast<std::int64_t>(a.isum));
+        break;
+      case AggFn::kMin: r.value = dbl ? Value(a.dmin) : Value(a.imin); break;
+      case AggFn::kMax: r.value = dbl ? Value(a.dmax) : Value(a.imax); break;
+      case AggFn::kAvg: {
+        const double sum =
+            dbl ? a.dsum : static_cast<double>(static_cast<std::int64_t>(a.isum));
+        const double avg = sum / static_cast<double>(a.count);
+        r.value = Value(avg == 0.0 ? 0.0 : avg);
+        break;
+      }
+    }
+    out.push_back(std::move(r));
+  }
+  sort_outs(out);
+  return out;
+}
+
+std::vector<AggOut> run_agg_engine(const CompiledQuery& q,
+                                   const std::vector<Event>& arrivals,
+                                   EngineOptions options) {
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = make_engine(EngineKind::kAgg,
+                                  std::make_shared<const CompiledQuery>(q), sink,
+                                  std::move(options));
+  for (const Event& e : arrivals) engine->on_event(e);
+  engine->finish();
+  return decode_all(sink->matches());
+}
+
+// The oracle does not model synthetic result-event ids; zero them on the
+// engine side before comparing against it.
+std::vector<AggOut> strip_ids(std::vector<AggOut> v) {
+  for (AggOut& o : v) o.id = 0;
+  return v;
+}
+
+// ------------------------------------------------------------- AggTree
+
+TEST(AggTree, RandomInsertEvictQueryMatchesModel) {
+  Rng rng(7);
+  AggTree tree(8);  // tiny leaves force frequent splits
+  std::vector<AggEntry> model;
+  Timestamp clock = 0;
+  EventId next_id = 1;
+  for (int round = 0; round < 4000; ++round) {
+    const int roll = rng.uniform_int(0, 99);
+    if (roll < 70) {
+      clock += rng.uniform_int(0, 3);
+      AggEntry e;
+      e.ts = std::max<Timestamp>(0, clock - rng.uniform_int(0, 40));  // mostly near tail
+      e.id = next_id++;
+      e.ival = rng.uniform_int(-100, 100);
+      e.dval = static_cast<double>(rng.uniform_int(-500, 500)) * 0.25;
+      tree.insert(e);
+      model.push_back(e);
+    } else if (roll < 80 && clock > 60) {
+      const Timestamp bound = clock - 60;
+      const std::size_t before = model.size();
+      std::erase_if(model, [bound](const AggEntry& e) { return e.ts < bound; });
+      EXPECT_EQ(tree.evict_below(bound), before - model.size());
+    } else {
+      const Timestamp lo = clock - rng.uniform_int(0, 80);
+      const Timestamp hi = lo + rng.uniform_int(1, 50);
+      const AggSummary got = tree.summarize(lo, hi);
+      AggSummary want;
+      for (const AggEntry& e : model)
+        if (e.ts >= lo && e.ts < hi) want.add(e);
+      EXPECT_EQ(got.count, want.count);
+      EXPECT_EQ(got.isum, want.isum);
+      if (want.count > 0) {
+        EXPECT_EQ(got.imin, want.imin);
+        EXPECT_EQ(got.imax, want.imax);
+        EXPECT_EQ(got.dmin, want.dmin);
+        EXPECT_EQ(got.dmax, want.dmax);
+      }
+      // fold() must visit the same entries in (ts, id) order.
+      std::vector<std::pair<Timestamp, EventId>> folded;
+      tree.fold(lo, hi, [&](const AggEntry& e) { folded.emplace_back(e.ts, e.id); });
+      EXPECT_EQ(folded.size(), want.count);
+      EXPECT_TRUE(std::is_sorted(folded.begin(), folded.end()));
+    }
+  }
+  EXPECT_EQ(tree.size(), model.size());
+}
+
+// ------------------------------------------------------ query compiler
+
+TEST(AggQuery, ParsesCompilesAndRoundTripsCanonicalText) {
+  const TypeRegistry reg = make_agg_registry();
+  const CompiledQuery q =
+      compile_query("agg SUM(T.val) over 100 slide 25 by key", reg);
+  ASSERT_TRUE(q.is_agg());
+  EXPECT_EQ(q.text(), "AGG sum(T.val) OVER 100 SLIDE 25 BY key");
+  EXPECT_EQ(q.agg().fn, AggFn::kSum);
+  EXPECT_EQ(q.agg().slide, 25);
+  EXPECT_TRUE(q.agg().has_key);
+  EXPECT_TRUE(q.partitionable());
+  EXPECT_EQ(q.window(), 100);
+  EXPECT_EQ(q.num_steps(), 1u);
+  EXPECT_TRUE(q.relevant(reg.lookup("T")));
+  EXPECT_FALSE(q.relevant(reg.lookup("U")));
+  // Canonical text reparses to the same compiled form.
+  const CompiledQuery q2 = compile_query(q.text(), reg);
+  EXPECT_EQ(q2.text(), q.text());
+
+  // Tumbling default: no SLIDE in the canonical form.
+  const CompiledQuery t = compile_query("AGG count(T) OVER 60 BY key", reg);
+  EXPECT_EQ(t.text(), "AGG count(T) OVER 60 BY key");
+  EXPECT_EQ(t.agg().slide, 60);
+
+  // Unkeyed: not partitionable.
+  EXPECT_FALSE(compile_query("AGG avg(T.dv) OVER 60", reg).partitionable());
+
+  EXPECT_THROW(compile_query("AGG count(T.val) OVER 10", reg), QueryParseError);
+  EXPECT_THROW(compile_query("AGG sum(T) OVER 10", reg), QueryParseError);
+  EXPECT_THROW(compile_query("AGG median(T.val) OVER 10", reg), QueryParseError);
+  EXPECT_THROW(compile_query("AGG sum(T.val) OVER 10 SLIDE 20", reg),
+               QueryParseError);
+  EXPECT_THROW(compile_query("AGG sum(T.val) OVER 0", reg), QueryParseError);
+  EXPECT_THROW(compile_query("AGG sum(T.tag) OVER 10", reg), QueryAnalysisError);
+  EXPECT_THROW(compile_query("AGG sum(T.nope) OVER 10", reg), QueryAnalysisError);
+  EXPECT_THROW(compile_query("AGG sum(Nope.val) OVER 10", reg), QueryAnalysisError);
+  EXPECT_THROW(compile_query("AGG sum(T.val) OVER 10 BY nope", reg),
+               QueryAnalysisError);
+  // AGG queries refuse non-agg engine kinds and vice versa.
+  const auto sink = std::make_shared<NullSink>();
+  EXPECT_THROW(make_engine(EngineKind::kOoo,
+                           compile_query_shared("AGG count(T) OVER 10", reg), sink),
+               std::invalid_argument);
+  EXPECT_THROW(
+      make_engine(EngineKind::kAgg,
+                  compile_query_shared("PATTERN SEQ(T a, U b) WITHIN 5", reg), sink),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------ oracle matrix
+
+TEST(AggEngineOracle, EveryFunctionMatchesRecomputeInOrder) {
+  const TypeRegistry reg = make_agg_registry();
+  const auto stream = gen_stream(reg, 3000, 8, 11);
+  const char* queries[] = {
+      "AGG count(T) OVER 64 BY key",
+      "AGG sum(T.val) OVER 64 SLIDE 16 BY key",
+      "AGG sum(T.dv) OVER 64 SLIDE 16 BY key",
+      "AGG min(T.val) OVER 48 SLIDE 12 BY key",
+      "AGG max(T.dv) OVER 48 SLIDE 12 BY key",
+      "AGG avg(T.val) OVER 96 SLIDE 32 BY key",
+      "AGG avg(T.dv) OVER 96 SLIDE 32 BY key",
+      "AGG count(T) OVER 50",  // unkeyed tumbling
+      "AGG sum(T.dv) OVER 200 SLIDE 10 BY key",  // heavy overlap
+  };
+  for (const char* text : queries) {
+    const CompiledQuery q = compile_query(text, reg);
+    auto got = run_agg_engine(q, stream, EngineOptions{});
+    ASSERT_GT(got.size(), 10u) << text;
+    sort_outs(got);
+    EXPECT_EQ(strip_ids(got), oracle(q, stream)) << text;
+  }
+}
+
+// -------------------------------------------- arrival-order determinism
+
+TEST(AggEngineOracle, ShuffledArrivalBitIdenticalToInOrder) {
+  const TypeRegistry reg = make_agg_registry();
+  const auto ordered = gen_stream(reg, 3000, 6, 23);
+  DisorderInjector inj(LatencyModel::uniform(48), 0.35, 5);
+  const auto shuffled = inj.deliver(ordered);
+  EngineOptions opt;
+  opt.slack = inj.slack_bound();
+  for (const char* text : {"AGG sum(T.dv) OVER 64 SLIDE 16 BY key",
+                           "AGG count(T) OVER 50", "AGG min(T.val) OVER 80 BY key",
+                           "AGG avg(T.dv) OVER 96 SLIDE 24 BY key"}) {
+    const CompiledQuery q = compile_query(text, reg);
+    // The emission SEQUENCE (not just the multiset) is canonical: the
+    // seal agenda drains in (end, index, key) order under a monotone
+    // watermark regardless of arrival order.
+    const auto in_order = run_agg_engine(q, ordered, opt);
+    const auto ooo = run_agg_engine(q, shuffled, opt);
+    ASSERT_GT(in_order.size(), 10u) << text;
+    EXPECT_EQ(ooo, in_order) << text;
+    auto sorted = in_order;
+    sort_outs(sorted);
+    EXPECT_EQ(strip_ids(sorted), oracle(q, ordered)) << text;
+  }
+}
+
+// -------------------------------------- shards × batch sizes bit-identity
+
+struct TaggedOut {
+  QueryId query;
+  AggOut out;
+  bool operator==(const TaggedOut& o) const {
+    return query == o.query && out == o.out;
+  }
+};
+
+std::vector<TaggedOut> run_agg_session(const TypeRegistry& reg,
+                                       const std::vector<Event>& arrivals,
+                                       Timestamp slack, std::size_t shards,
+                                       std::size_t batch, std::uint64_t seed,
+                                       std::size_t checkpoint_every = 0,
+                                       WorkerKillHook hook = {},
+                                       std::size_t* shard_count = nullptr) {
+  const auto sink = std::make_shared<CollectingTaggedSink>();
+  SessionConfig cfg;
+  cfg.slack(slack).shards(shards).metrics(false);
+  cfg.query("AGG sum(T.dv) OVER 120 SLIDE 30 BY key");
+  cfg.query("AGG count(T) OVER 90 BY key");
+  if (checkpoint_every) {
+    cfg.checkpoint_every(checkpoint_every)
+        .max_restarts(10)
+        .restart_backoff(std::chrono::milliseconds(0), std::chrono::milliseconds(0));
+  }
+  if (hook) cfg.kill_hook(std::move(hook));
+  Session session(reg, cfg, sink);
+  if (shard_count != nullptr) *shard_count = session.shard_count();
+  if (batch == 0) {
+    for (const Event& e : arrivals) session.push(e);
+  } else {
+    Rng rng(seed);
+    std::size_t i = 0;
+    while (i < arrivals.size()) {
+      const std::size_t want =
+          seed ? static_cast<std::size_t>(rng.uniform_int(1, 2 * batch)) : batch;
+      const std::size_t n = std::min(want, arrivals.size() - i);
+      session.push_batch(std::span<const Event>(arrivals.data() + i, n));
+      i += n;
+    }
+  }
+  session.close();
+  std::vector<TaggedOut> out;
+  out.reserve(sink->matches().size());
+  for (const TaggedMatch& tm : sink->matches())
+    out.push_back(TaggedOut{tm.query, decode(tm.match)});
+  return out;
+}
+
+TEST(AggSession, BitIdenticalAcrossShardsAndBatchSizes) {
+  const TypeRegistry reg = make_agg_registry();
+  const auto ordered = gen_stream(reg, 2500, 12, 41);
+  DisorderInjector inj(LatencyModel::uniform(40), 0.3, 9);
+  const auto arrivals = inj.deliver(ordered);
+  const Timestamp slack = inj.slack_bound();
+
+  const auto baseline = run_agg_session(reg, arrivals, slack, 1, 0, 0);
+  ASSERT_GT(baseline.size(), 20u);
+
+  // Against the recompute oracle, per query.
+  for (QueryId qid : {QueryId{0}, QueryId{1}}) {
+    const CompiledQuery q =
+        compile_query(qid == 0 ? "AGG sum(T.dv) OVER 120 SLIDE 30 BY key"
+                               : "AGG count(T) OVER 90 BY key",
+                      reg);
+    std::vector<AggOut> got;
+    for (const TaggedOut& t : baseline)
+      if (t.query == qid) got.push_back(t.out);
+    sort_outs(got);
+    EXPECT_EQ(strip_ids(got), oracle(q, ordered)) << "query " << qid;
+  }
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{8}}) {
+    std::size_t effective = 0;
+    // batch: 0 = per-event push; 1 / 256 = fixed; 256+seed = ragged.
+    EXPECT_EQ(run_agg_session(reg, arrivals, slack, shards, 1, 0), baseline)
+        << "shards=" << shards << " batch=1";
+    EXPECT_EQ(run_agg_session(reg, arrivals, slack, shards, 256, 0), baseline)
+        << "shards=" << shards << " batch=256";
+    EXPECT_EQ(run_agg_session(reg, arrivals, slack, shards, 256, 77), baseline)
+        << "shards=" << shards << " batch=ragged";
+    const auto per_event = run_agg_session(reg, arrivals, slack, shards, 0, 0,
+                                           0, {}, &effective);
+    EXPECT_EQ(per_event, baseline) << "shards=" << shards << " per-event";
+    EXPECT_EQ(effective, shards) << "keyed agg queries must actually shard";
+  }
+}
+
+TEST(AggSession, UnkeyedAggFallsBackToSingleShard) {
+  const TypeRegistry reg = make_agg_registry();
+  const auto stream = gen_stream(reg, 400, 4, 3);
+  const auto sink = std::make_shared<CollectingTaggedSink>();
+  Session session(reg,
+                  SessionConfig{}
+                      .shards(8)
+                      .metrics(false)
+                      .query("AGG sum(T.val) OVER 40"),
+                  sink);
+  EXPECT_EQ(session.shard_count(), 1u);
+  EXPECT_FALSE(session.shard_fallback_reason().empty());
+  for (const Event& e : stream) session.push(e);
+  session.close();
+  std::vector<AggOut> got;
+  for (const TaggedMatch& tm : sink->matches()) got.push_back(decode(tm.match));
+  sort_outs(got);
+  EXPECT_EQ(strip_ids(got),
+            oracle(compile_query("AGG sum(T.val) OVER 40", reg), stream));
+}
+
+// --------------------------------------------- speculative emission
+
+TEST(AggEngineSpeculative, NetResultsEqualConservativeAndRetractionsPair) {
+  const TypeRegistry reg = make_agg_registry();
+  const auto ordered = gen_stream(reg, 2000, 5, 57);
+  DisorderInjector inj(LatencyModel::uniform(64), 0.4, 13);
+  const auto shuffled = inj.deliver(ordered);
+  const CompiledQuery q =
+      compile_query("AGG sum(T.dv) OVER 48 SLIDE 12 BY key", reg);
+  EngineOptions conservative;
+  conservative.slack = inj.slack_bound();
+  EngineOptions aggressive = conservative;
+  aggressive.aggressive_negation = true;
+
+  const auto final_outs = run_agg_engine(q, shuffled, conservative);
+  const auto sink = std::make_shared<CollectingSink>();
+  const auto engine = make_engine(EngineKind::kAgg,
+                                  std::make_shared<const CompiledQuery>(q), sink,
+                                  aggressive);
+  EXPECT_EQ(engine->name(), "agg-speculative");
+  for (const Event& e : shuffled) engine->on_event(e);
+  engine->finish();
+  const auto emitted = decode_all(sink->matches());
+  const auto retractions = decode_all(sink->retracted());
+  ASSERT_GT(retractions.size(), 0u) << "disorder must trigger revisions";
+  EXPECT_EQ(sink->matches().size(), final_outs.size() + retractions.size());
+
+  // Every retraction revokes a prior emission (payload-identical), at
+  // most once; the net multiset equals the conservative output.
+  const auto as_key = [](const AggOut& o) {
+    return std::tuple(o.id, o.start, o.end, o.key, o.count,
+                      o.value.type() == ValueType::kDouble
+                          ? std::bit_cast<std::uint64_t>(o.value.as_double())
+                          : static_cast<std::uint64_t>(o.value.as_int()));
+  };
+  std::map<decltype(as_key(AggOut{})), int> net;
+  for (const AggOut& o : emitted) ++net[as_key(o)];
+  for (const AggOut& o : retractions) {
+    auto it = net.find(as_key(o));
+    ASSERT_NE(it, net.end()) << "retraction without a matching emission";
+    if (--it->second == 0) net.erase(it);
+  }
+  std::map<decltype(as_key(AggOut{})), int> want;
+  for (const AggOut& o : final_outs) ++want[as_key(o)];
+  EXPECT_EQ(net, want);
+}
+
+// -------------------------------------------------- checkpoint identity
+
+TEST(AggCheckpoint, SnapshotRoundTripIsByteIdenticalAndContinues) {
+  const TypeRegistry reg = make_agg_registry();
+  const auto ordered = gen_stream(reg, 1200, 6, 71);
+  DisorderInjector inj(LatencyModel::uniform(32), 0.3, 17);
+  const auto arrivals = inj.deliver(ordered);
+  for (const bool aggressive : {false, true}) {
+    for (const char* text :
+         {"AGG sum(T.dv) OVER 60 SLIDE 15 BY key", "AGG max(T.val) OVER 44"}) {
+      EngineOptions opt;
+      opt.slack = inj.slack_bound();
+      opt.aggressive_negation = aggressive;
+      opt.dedup_by_id = true;  // exercise admission state in the frame
+      const CompiledQuery q = compile_query(text, reg);
+      const auto mk = [&](std::shared_ptr<CollectingSink>& sink) {
+        sink = std::make_shared<CollectingSink>();
+        return make_engine(EngineKind::kAgg,
+                           std::make_shared<const CompiledQuery>(q), sink, opt);
+      };
+      std::shared_ptr<CollectingSink> sink_a, sink_b;
+      const auto a = mk(sink_a);
+      const std::size_t cut = arrivals.size() / 2;
+      for (std::size_t i = 0; i < cut; ++i) a->on_event(arrivals[i]);
+      const auto bytes = checkpoint_engine(*a);
+
+      const auto b = mk(sink_b);
+      restore_engine(*b, bytes);
+      // Byte-identity: the restored engine re-snapshots to the same frame.
+      EXPECT_EQ(checkpoint_engine(*b), bytes) << text << " aggressive=" << aggressive;
+
+      // And both continuations are indistinguishable from here on.
+      sink_a->clear();
+      for (std::size_t i = cut; i < arrivals.size(); ++i) {
+        a->on_event(arrivals[i]);
+        b->on_event(arrivals[i]);
+      }
+      a->finish();
+      b->finish();
+      EXPECT_EQ(decode_all(sink_b->matches()), decode_all(sink_a->matches()))
+          << text << " aggressive=" << aggressive;
+      EXPECT_EQ(checkpoint_engine(*b), checkpoint_engine(*a))
+          << text << " aggressive=" << aggressive;
+    }
+  }
+}
+
+TEST(AggCheckpoint, GuardRejectsWrongQueryOrMode) {
+  const TypeRegistry reg = make_agg_registry();
+  const CompiledQuery q1 = compile_query("AGG count(T) OVER 10", reg);
+  const CompiledQuery q2 = compile_query("AGG count(T) OVER 20", reg);
+  const auto sink = std::make_shared<NullSink>();
+  const auto a = make_engine(EngineKind::kAgg,
+                             std::make_shared<const CompiledQuery>(q1), sink);
+  const auto bytes = checkpoint_engine(*a);
+  const auto wrong_query = make_engine(
+      EngineKind::kAgg, std::make_shared<const CompiledQuery>(q2), sink);
+  EXPECT_THROW(restore_engine(*wrong_query, bytes), CheckpointError);
+  EngineOptions aggressive;
+  aggressive.aggressive_negation = true;
+  const auto wrong_mode = make_engine(
+      EngineKind::kAgg, std::make_shared<const CompiledQuery>(q1), sink, aggressive);
+  EXPECT_THROW(restore_engine(*wrong_mode, bytes), CheckpointError);
+}
+
+// ----------------------------------------------- recovery with kills
+
+TEST(AggRecovery, KillAtEveryBatchBoundaryYieldsFaultFreeOutput) {
+  const TypeRegistry reg = make_agg_registry();
+  const auto ordered = gen_stream(reg, 260, 8, 91);
+  DisorderInjector inj(LatencyModel::uniform(30), 0.25, 21);
+  const auto arrivals = inj.deliver(ordered);
+  const Timestamp slack = inj.slack_bound();
+  constexpr std::size_t kBatch = 32;
+
+  const auto fault_free =
+      run_agg_session(reg, arrivals, slack, 3, 0, 0, /*checkpoint_every=*/7);
+  ASSERT_GT(fault_free.size(), 5u);
+  EXPECT_EQ(run_agg_session(reg, arrivals, slack, 3, kBatch, 0, 7), fault_free);
+  for (std::size_t i = 0; i < arrivals.size(); i += kBatch) {
+    WorkerKillFault fault({arrivals[i].id});
+    const auto run =
+        run_agg_session(reg, arrivals, slack, 3, kBatch, 0, 7, fault.hook());
+    EXPECT_EQ(run, fault_free) << "diverged after kill at batch boundary " << i;
+    EXPECT_EQ(fault.victims_remaining(), 0u) << "kill at " << i << " never fired";
+  }
+}
+
+// ------------------------------------------- overload shed accounting
+
+TEST(AggOverload, ShedAccountingClosesWithMixedAggAndPatternQueries) {
+  const TypeRegistry reg = make_agg_registry();
+  // Offered load: T events (agg query) interleaved with U pairs (pattern
+  // query on U only, so the per-query shed attribution is disjoint).
+  Rng rng(5);
+  std::vector<Event> offered;
+  Timestamp ts = 0;
+  std::size_t n_t = 0, n_u = 0;
+  EventId id = 1;
+  for (std::size_t i = 0; i < 4000; ++i) {
+    ts += 1;
+    if (i % 2 == 0) {
+      offered.push_back(make_t(reg, id++, ts, rng.uniform_int(0, 7), 1, 0.5));
+      ++n_t;
+    } else {
+      offered.push_back(make_u(reg, id++, ts, rng.uniform_int(0, 7), 1));
+      ++n_u;
+    }
+  }
+  OverloadConfig cfg;
+  cfg.policy = OverloadPolicy::kShedNewest;
+  const auto sink = std::make_shared<CollectingTaggedSink>();
+  Session session(reg,
+                  SessionConfig{}
+                      .slack(50)
+                      .shards(2)
+                      .queue_capacity(64)
+                      .overload(std::move(cfg))
+                      .delay_hook([](const Event&) {
+                        std::this_thread::sleep_for(std::chrono::microseconds(300));
+                      })
+                      .query("AGG count(T) OVER 100 BY key")
+                      .query("PATTERN SEQ(U a, U b) WHERE a.key == b.key WITHIN 40"),
+                  sink);
+  ASSERT_EQ(session.shard_count(), 2u) << session.shard_fallback_reason();
+  for (const Event& e : offered) session.push(e);
+  session.close();
+
+  ASSERT_GT(session.overload_shed(), 0u);
+  // Offered = admitted + shed, per query (disjoint types) and in total;
+  // every view of the count agrees.
+  EXPECT_EQ(session.stats(0).events_seen + session.overload_shed(0), n_t);
+  EXPECT_EQ(session.stats(1).events_seen + session.overload_shed(1), n_u);
+  EXPECT_EQ(session.overload_shed(0) + session.overload_shed(1),
+            session.overload_shed());
+  EXPECT_EQ(session.degraded_accounting().shed_events, session.overload_shed());
+}
+
+// ------------------------------------------------- late-policy corners
+
+TEST(AggEngineLate, DropExcludesViolatorsAndAdmitCannotResurrectSealedWindows) {
+  const TypeRegistry reg = make_agg_registry();
+  const CompiledQuery q = compile_query("AGG sum(T.val) OVER 5 BY key", reg);
+  std::vector<Event> stream;
+  for (Timestamp t = 1; t <= 10; ++t)
+    stream.push_back(make_t(reg, static_cast<EventId>(t), t, 0, t, 0.0));
+  // ts=2 arrives after the clock reached 10 (slack 0): sealed territory.
+  stream.push_back(make_t(reg, 99, 2, 0, 1000, 0.0));
+  const auto expected = oracle(q, {stream.begin(), stream.end() - 1});
+
+  for (const LatePolicy policy : {LatePolicy::kDrop, LatePolicy::kAdmit,
+                                  LatePolicy::kQuarantine}) {
+    EngineOptions opt;
+    opt.late_policy = policy;
+    const auto sink = std::make_shared<CollectingSink>();
+    const auto engine = make_engine(EngineKind::kAgg,
+                                    std::make_shared<const CompiledQuery>(q), sink,
+                                    opt);
+    for (const Event& e : stream) engine->on_event(e);
+    engine->finish();
+    auto got = decode_all(sink->matches());
+    sort_outs(got);
+    // All three policies agree here: under kAdmit the violator's only
+    // containing window is sealed, so it cannot change any result.
+    EXPECT_EQ(strip_ids(got), expected) << to_string(policy);
+    const EngineStats s = engine->stats_snapshot();
+    EXPECT_EQ(s.contract_violations, 1u) << to_string(policy);
+    EXPECT_EQ(s.events_dropped_late, policy == LatePolicy::kDrop ? 1u : 0u);
+    EXPECT_EQ(s.events_quarantined, policy == LatePolicy::kQuarantine ? 1u : 0u);
+    if (policy == LatePolicy::kQuarantine) {
+      const auto parked = engine->drain_quarantine();
+      ASSERT_EQ(parked.size(), 1u);
+      EXPECT_EQ(parked.front().id, 99u);
+    }
+  }
+}
+
+TEST(AggEngineLate, DedupSuppressesRedeliveredEvents) {
+  const TypeRegistry reg = make_agg_registry();
+  const CompiledQuery q = compile_query("AGG count(T) OVER 10 BY key", reg);
+  EngineOptions opt;
+  opt.dedup_by_id = true;
+  std::vector<Event> stream;
+  for (Timestamp t = 0; t < 20; ++t)
+    stream.push_back(make_t(reg, static_cast<EventId>(t + 1), t, 0, 1, 0.0));
+  auto twice = stream;
+  twice.insert(twice.end(), stream.begin(), stream.end());
+  auto got = run_agg_engine(q, twice, opt);
+  sort_outs(got);
+  EXPECT_EQ(strip_ids(got), oracle(q, stream));
+}
+
+}  // namespace
+}  // namespace oosp
