@@ -8,7 +8,8 @@ Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
   for (std::size_t i = 0; i < fields_.size(); ++i) {
     OOSP_REQUIRE(!fields_[i].name.empty(), "schema field needs a name");
     for (std::size_t j = i + 1; j < fields_.size(); ++j)
-      OOSP_REQUIRE(fields_[i].name != fields_[j].name, "duplicate schema field: " + fields_[i].name);
+      OOSP_REQUIRE(fields_[i].name != fields_[j].name,
+                   "duplicate schema field: " + fields_[i].name);
   }
 }
 

@@ -136,7 +136,8 @@ std::vector<Token> tokenize(std::string_view input) {
       case ',': push(TokKind::kComma, ",", start); ++i; break;
       case '.': push(TokKind::kDot, ".", start); ++i; break;
       case '=':
-        if (!two('=')) throw QueryParseError("expected '==' (single '=' is not assignment here)", start);
+        if (!two('='))
+          throw QueryParseError("expected '==' (single '=' is not assignment here)", start);
         push(TokKind::kEq, "==", start);
         i += 2;
         break;
